@@ -1,0 +1,37 @@
+"""Shared benchmark infrastructure.
+
+Every benchmark regenerates one table/figure of the paper's evaluation
+(see DESIGN.md's experiment index), prints it, and writes it under
+``results/``. Scale is controlled by the REPRO_* environment variables
+(see :meth:`repro.analysis.experiments.ExperimentConfig.from_env`);
+EXPERIMENTS.md records the committed numbers and the scale that produced
+them.
+
+Run with ``pytest benchmarks/ --benchmark-only``.
+"""
+
+import pathlib
+
+import pytest
+
+from repro.analysis.experiments import ExperimentConfig
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture(scope="session")
+def exp() -> ExperimentConfig:
+    return ExperimentConfig.from_env()
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def publish(results_dir: pathlib.Path, name: str, text: str) -> None:
+    """Print a result table and persist it under results/."""
+    print()
+    print(text)
+    (results_dir / f"{name}.txt").write_text(text + "\n")

@@ -1,0 +1,49 @@
+"""Ablation (Section 4.3): keep only the stacks/code incoherent.
+
+Paper observation: "For some benchmarks, simply keeping the stack
+incoherent achieves most of the benefit, but on average, the stack alone
+only represents 15% of the directory resources ... most of the savings
+comes from using Cohesion to allocate globally shared data on the
+incoherent heap."
+"""
+
+from repro.analysis.experiments import run_stack_only_ablation
+from repro.analysis.report import format_table
+from repro.workloads import ALL_WORKLOADS
+
+from benchmarks.conftest import publish
+
+
+def test_ablation_stack_only(benchmark, exp, results_dir):
+    results = benchmark.pedantic(
+        lambda: run_stack_only_ablation(ALL_WORKLOADS, exp),
+        rounds=1, iterations=1)
+
+    rows = []
+    shares = []
+    hwcc_total = stack_total = full_total = 0.0
+    for name in ALL_WORKLOADS:
+        row = results[name]
+        rows.append([name, row["HWcc"], row["StackOnly"], row["Cohesion"],
+                     row["stack_share_of_hwcc"]])
+        shares.append(row["stack_share_of_hwcc"])
+        hwcc_total += row["HWcc"]
+        stack_total += row["StackOnly"]
+        full_total += row["Cohesion"]
+    mean_share = sum(shares) / len(shares)
+    table = format_table(
+        ["benchmark", "HWcc avg", "stack-only avg", "full Cohesion avg",
+         "stack share of HWcc"],
+        rows,
+        title=("Stack-only ablation: average directory entries\n"
+               f"(mean stack share of HWcc entries {mean_share:.1%}; "
+               "paper: ~15%)"))
+    publish(results_dir, "ablation_stack_only", table)
+
+    # Stack-only removes something, full Cohesion removes much more.
+    assert stack_total < hwcc_total
+    assert full_total < stack_total
+    # The stack alone is a minority of HWcc's directory pressure.
+    assert mean_share < 0.5
+    # ... but for at least one benchmark it is a noticeable share.
+    assert max(shares) > 0.10

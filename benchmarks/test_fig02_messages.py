@@ -1,0 +1,57 @@
+"""Figure 2: L2->L3 message breakdown, SWcc vs optimistic HWcc.
+
+Paper shape: normalized to SWcc, optimistic HWcc sends significantly
+more messages for every benchmark except kmeans (whose uncached atomic
+histogramming dominates SWcc); the extra HWcc messages come mainly from
+write misses and read releases.
+"""
+
+from repro.analysis.experiments import run_message_breakdown
+from repro.analysis.report import (format_table, grouped_bar_chart,
+                                   message_breakdown_rows,
+                                   short_message_headers)
+from repro.config import Policy
+from repro.workloads import ALL_WORKLOADS
+
+from benchmarks.conftest import publish
+
+
+def test_fig02_swcc_vs_hwcc_messages(benchmark, exp, results_dir):
+    policies = {"SWcc": Policy.swcc(), "HWccIdeal": Policy.hwcc_ideal()}
+
+    results = benchmark.pedantic(
+        lambda: run_message_breakdown(ALL_WORKLOADS, policies, exp),
+        rounds=1, iterations=1)
+
+    sections = []
+    ratios = {}
+    for name in ALL_WORKLOADS:
+        rows = message_breakdown_rows(results[name], normalize_to="SWcc")
+        sections.append(format_table(short_message_headers(), rows,
+                                     title=f"[{name}] (normalized to SWcc)"))
+        ratios[name] = (results[name]["HWccIdeal"].total_messages
+                        / max(1, results[name]["SWcc"].total_messages))
+    summary = format_table(["benchmark", "HWcc/SWcc messages"],
+                           [[n, r] for n, r in ratios.items()],
+                           title="Figure 2 summary")
+    chart = grouped_bar_chart(
+        {name: {label: results[name][label].total_messages
+                / max(1, results[name]["SWcc"].total_messages)
+                for label in policies}
+         for name in ALL_WORKLOADS},
+        order=list(policies),
+        title="Figure 2: relative L2->L3 messages (normalized to SWcc)")
+    publish(results_dir, "fig02_messages",
+            "\n\n".join(sections + [summary, chart]))
+
+    # Paper shape: HWcc generates more traffic everywhere except kmeans.
+    assert ratios["kmeans"] < 1.0
+    increased = [name for name in ALL_WORKLOADS
+                 if name != "kmeans" and ratios[name] > 1.0]
+    assert len(increased) >= 6, f"only {increased} show HWcc overhead"
+    # Read releases are a significant HWcc-only source (Section 2.1).
+    total_releases = sum(results[n]["HWccIdeal"].messages.read_release
+                         for n in ALL_WORKLOADS)
+    assert total_releases > 0
+    assert all(results[n]["SWcc"].messages.read_release == 0
+               for n in ALL_WORKLOADS)

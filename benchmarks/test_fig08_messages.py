@@ -1,0 +1,49 @@
+"""Figure 8: message counts for SWcc, Cohesion, HWccIdeal, HWccReal.
+
+Paper shape: Cohesion reduces messages relative to both HWcc
+configurations for every benchmark; kmeans is the only benchmark where
+SWcc exceeds Cohesion (Cohesion's HWcc domain absorbs its uncached
+atomics); for heat and stencil Cohesion sits closest to optimistic HWcc.
+"""
+
+from repro.analysis.experiments import run_message_breakdown, standard_policies
+from repro.analysis.report import (format_table, message_breakdown_rows,
+                                   short_message_headers)
+from repro.workloads import ALL_WORKLOADS
+
+from benchmarks.conftest import publish
+
+
+def test_fig08_four_configs_messages(benchmark, exp, results_dir):
+    results = benchmark.pedantic(
+        lambda: run_message_breakdown(ALL_WORKLOADS, standard_policies(), exp),
+        rounds=1, iterations=1)
+
+    sections = []
+    totals = {label: 0 for label in standard_policies()}
+    for name in ALL_WORKLOADS:
+        rows = message_breakdown_rows(results[name], normalize_to="SWcc")
+        sections.append(format_table(short_message_headers(), rows,
+                                     title=f"[{name}] (normalized to SWcc)"))
+        for label in totals:
+            totals[label] += results[name][label].total_messages
+    summary = format_table(
+        ["config", "total messages", "vs SWcc"],
+        [[label, count, count / totals["SWcc"]]
+         for label, count in totals.items()],
+        title="Figure 8 aggregate")
+    publish(results_dir, "fig08_messages", "\n\n".join(sections + [summary]))
+
+    # kmeans: SWcc is the outlier with the most traffic.
+    km = results["kmeans"]
+    assert km["SWcc"].total_messages > km["Cohesion"].total_messages
+
+    # Cohesion stays below the hardware-coherent aggregate.
+    assert totals["Cohesion"] < totals["HWccIdeal"]
+    assert totals["Cohesion"] <= totals["HWccReal"]
+
+    # Per benchmark, Cohesion beats optimistic HWcc on the streaming
+    # kernels where SWcc's silent drops matter most.
+    for name in ("heat", "stencil", "sobel", "dmm"):
+        assert (results[name]["Cohesion"].total_messages
+                < results[name]["HWccIdeal"].total_messages), name

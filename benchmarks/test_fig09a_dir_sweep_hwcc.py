@@ -1,0 +1,45 @@
+"""Figure 9a: HWcc slowdown vs directory entries per L3 bank.
+
+Paper shape: performance falls off precipitously as the (fully
+associative, to isolate capacity) sparse directory shrinks from 16K to
+256 entries per bank -- every directory miss evicts an entry whose
+sharers must all be invalidated, destroying cached working sets.
+"""
+
+from repro.analysis.experiments import DIRECTORY_SWEEP_SIZES, run_directory_sweep
+from repro.analysis.report import format_table
+from repro.workloads import ALL_WORKLOADS
+
+from benchmarks.conftest import publish
+
+
+def test_fig09a_hwcc_directory_sweep(benchmark, exp, results_dir):
+    results = benchmark.pedantic(
+        lambda: run_directory_sweep(ALL_WORKLOADS, DIRECTORY_SWEEP_SIZES,
+                                    hybrid=False, exp=exp),
+        rounds=1, iterations=1)
+
+    headers = ["benchmark"] + [str(s) for s in DIRECTORY_SWEEP_SIZES]
+    rows = [[name] + [results[name][s] for s in DIRECTORY_SWEEP_SIZES]
+            for name in ALL_WORKLOADS]
+    table = format_table(
+        headers, rows,
+        title="Figure 9a: HWcc slowdown vs directory entries/bank "
+              "(normalized to infinite directory)")
+    publish(results_dir, "fig09a_dir_sweep_hwcc", table)
+
+    worst_at_smallest = max(results[name][DIRECTORY_SWEEP_SIZES[0]]
+                            for name in ALL_WORKLOADS)
+    mean_smallest = sum(results[name][DIRECTORY_SWEEP_SIZES[0]]
+                        for name in ALL_WORKLOADS) / len(ALL_WORKLOADS)
+    mean_largest = sum(results[name][DIRECTORY_SWEEP_SIZES[-1]]
+                       for name in ALL_WORKLOADS) / len(ALL_WORKLOADS)
+    # Large directories behave like the infinite baseline...
+    assert mean_largest < 1.1
+    # ... while small ones thrash (shape, not the paper's exact 8x).
+    assert mean_smallest > 1.15
+    assert worst_at_smallest > 1.5
+    # Monotone-ish: shrinking the directory never helps meaningfully.
+    for name in ALL_WORKLOADS:
+        series = [results[name][s] for s in DIRECTORY_SWEEP_SIZES]
+        assert series[0] >= series[-1] - 0.1, name

@@ -1,0 +1,43 @@
+"""Figure 10: runtime of six configurations, normalized to Cohesion.
+
+Paper shape: Cohesion (full-map) and Cohesion (Dir4B) are within a few
+percent of each other; SWcc and optimistic HWcc land in a band around
+Cohesion (the paper spans 0.84x..1.25x); realistic/limited pure-HWcc
+configurations are *many times* slower for the thrash-prone benchmarks.
+"""
+
+from repro.analysis.experiments import figure10_policies, run_performance
+from repro.analysis.report import format_table, grouped_bar_chart
+from repro.workloads import ALL_WORKLOADS
+
+from benchmarks.conftest import publish
+
+
+def test_fig10_relative_performance(benchmark, exp, results_dir):
+    results = benchmark.pedantic(
+        lambda: run_performance(ALL_WORKLOADS, exp),
+        rounds=1, iterations=1)
+
+    labels = list(figure10_policies())
+    headers = ["benchmark"] + labels
+    rows = [[name] + [results[name][label] for label in labels]
+            for name in ALL_WORKLOADS]
+    means = {label: sum(results[name][label] for name in ALL_WORKLOADS)
+             / len(ALL_WORKLOADS) for label in labels}
+    rows.append(["geomean-ish (mean)"] + [means[label] for label in labels])
+    table = format_table(
+        headers, rows,
+        title="Figure 10: runtime normalized to Cohesion (full-map)")
+    chart = grouped_bar_chart(results, order=labels)
+    publish(results_dir, "fig10_performance", table + "\n\n" + chart)
+
+    for name in ALL_WORKLOADS:
+        row = results[name]
+        # The two Cohesion variants track each other closely.
+        assert abs(row["CohesionLimited"] - row["Cohesion"]) < 0.25, name
+        # Cohesion is competitive with optimistic HWcc.
+        assert row["HWccOpt"] > 0.6 * row["Cohesion"], name
+        assert row["Cohesion"] < 1.6 * max(row["HWccOpt"], row["SWcc"]), name
+    # SWcc and HWccOpt land in a band around Cohesion on average.
+    assert 0.5 < means["SWcc"] < 1.3
+    assert 0.5 < means["HWccOpt"] < 1.3

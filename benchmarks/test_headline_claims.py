@@ -1,0 +1,60 @@
+"""Abstract/Section 4.6 headline claims, measured in one place.
+
+"Relative to an optimistic, hardware-coherent baseline, a realizable
+Cohesion design achieves competitive performance with a 2x reduction in
+message traffic, 2.1x reduction in directory utilization, and greater
+robustness to on-die directory capacity."
+"""
+
+from repro.analysis.experiments import (run_directory_sweep,
+                                        run_message_breakdown,
+                                        run_directory_occupancy)
+from repro.analysis.report import format_table
+from repro.config import Policy
+from repro.workloads import ALL_WORKLOADS
+
+from benchmarks.conftest import publish
+
+
+def test_headline_claims(benchmark, exp, results_dir):
+    def run_all():
+        policies = {"Cohesion": Policy.cohesion(),
+                    "HWccIdeal": Policy.hwcc_ideal()}
+        messages = run_message_breakdown(ALL_WORKLOADS, policies, exp)
+        occupancy = run_directory_occupancy(ALL_WORKLOADS, exp)
+        robustness = {
+            "HWcc": run_directory_sweep(ALL_WORKLOADS, (256,), exp=exp),
+            "Cohesion": run_directory_sweep(ALL_WORKLOADS, (256,),
+                                            hybrid=True, exp=exp),
+        }
+        return messages, occupancy, robustness
+
+    messages, occupancy, robustness = benchmark.pedantic(
+        run_all, rounds=1, iterations=1)
+
+    msg_hwcc = sum(messages[n]["HWccIdeal"].total_messages
+                   for n in ALL_WORKLOADS)
+    msg_coh = sum(messages[n]["Cohesion"].total_messages
+                  for n in ALL_WORKLOADS)
+    dir_hwcc = sum(occupancy[n]["HWcc"]["avg"] for n in ALL_WORKLOADS)
+    dir_coh = sum(occupancy[n]["Cohesion"]["avg"] for n in ALL_WORKLOADS)
+    slow_hwcc = sum(robustness["HWcc"][n][256]
+                    for n in ALL_WORKLOADS) / len(ALL_WORKLOADS)
+    slow_coh = sum(robustness["Cohesion"][n][256]
+                   for n in ALL_WORKLOADS) / len(ALL_WORKLOADS)
+
+    rows = [
+        ["message reduction vs HWccIdeal (paper: 2x)",
+         msg_hwcc / max(1, msg_coh)],
+        ["directory utilization reduction (paper: 2.1x)",
+         dir_hwcc / max(1.0, dir_coh)],
+        ["mean slowdown @256 entries/bank, HWcc", slow_hwcc],
+        ["mean slowdown @256 entries/bank, Cohesion", slow_coh],
+    ]
+    table = format_table(["claim", "measured"], rows,
+                         title="Headline claims (abstract / Section 4.6)")
+    publish(results_dir, "headline_claims", table)
+
+    assert msg_hwcc > msg_coh                      # traffic reduced
+    assert dir_hwcc / max(1.0, dir_coh) >= 2.0     # >=2x directory savings
+    assert slow_coh < slow_hwcc                    # robustness to capacity

@@ -1,0 +1,35 @@
+"""Section 4.4: on-die directory area estimates (closed form).
+
+Paper numbers for the 1024-core baseline: full-map ~9.28 MB (113% of the
+8 MB aggregate L2), Dir4B 2.88 MB (35.1%), duplicate tags 736 KB per
+replica at 2048-way associativity.
+"""
+
+import pytest
+
+from repro.analysis.area import DirectoryAreaModel
+from repro.analysis.report import format_table
+from repro.config import MachineConfig
+
+from benchmarks.conftest import publish
+
+
+def test_sec44_directory_area(benchmark, exp, results_dir):
+    model = benchmark.pedantic(lambda: DirectoryAreaModel(MachineConfig()),
+                               rounds=1, iterations=1)
+
+    estimates = model.summary()
+    rows = [[e.scheme, e.total_mb, e.fraction_of_l2 * 100] for e in estimates]
+    rows.append(["duplicate-tag assoc required",
+                 model.duplicate_tag_associativity(), 0.0])
+    table = format_table(
+        ["scheme", "MB", "% of aggregate L2"], rows,
+        title="Section 4.4: directory storage for the 1024-core baseline")
+    publish(results_dir, "sec44_area", table)
+
+    full_map, dir4b, dup1, _dup_all = estimates
+    assert full_map.total_mb == pytest.approx(9.28, rel=0.03)
+    assert full_map.fraction_of_l2 == pytest.approx(1.13, rel=0.03)
+    assert dir4b.total_mb == pytest.approx(2.88, rel=0.01)
+    assert dup1.total_bytes == 736 * 1024
+    assert model.duplicate_tag_associativity() == 2048

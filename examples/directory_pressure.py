@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Directory-capacity robustness (the Figure 9a/9b experiment).
+
+Sweeps the on-die sparse directory from 256 to 16K entries per L3 bank
+(fully associative, isolating capacity) and compares pure hardware
+coherence against Cohesion on one kernel. Under pure HWcc every cached
+line needs a directory entry, so small directories thrash: each
+allocation evicts an entry and invalidates its sharers' cached lines.
+Cohesion tracks only the data that genuinely needs hardware coherence
+and barely notices.
+
+Usage::
+
+    python examples/directory_pressure.py [workload] [n_clusters]
+"""
+
+import sys
+
+from repro import Machine, MachineConfig, Policy, get_workload
+from repro.analysis.report import format_table
+
+SIZES = (256, 512, 1024, 2048, 4096, 8192, 16384)
+
+
+def run(config, policy, kernel):
+    machine = Machine(config, policy)
+    program = get_workload(kernel).build(machine)
+    stats = machine.run(program)
+    return stats
+
+
+def main() -> int:
+    kernel = sys.argv[1] if len(sys.argv) > 1 else "dmm"
+    n_clusters = int(sys.argv[2]) if len(sys.argv) > 2 else 4
+    config = MachineConfig().scaled(n_clusters)
+
+    print(f"Sweeping directory capacity for {kernel!r} on "
+          f"{config.n_cores} cores ({config.l3_banks} L3 bank(s))\n")
+
+    rows = []
+    for label, ideal, make in (
+            ("HWcc", Policy.hwcc_ideal(), Policy.hwcc_real),
+            ("Cohesion", Policy.cohesion_ideal(), Policy.cohesion)):
+        base = run(config, ideal, kernel)
+        slowdowns = [label]
+        evictions = [f"  ({label} dir evictions)"]
+        for entries in SIZES:
+            stats = run(config, make(entries_per_bank=entries, assoc=entries),
+                        kernel)
+            slowdowns.append(stats.cycles / base.cycles)
+            evictions.append(stats.dir_evictions)
+        rows.append(slowdowns)
+        rows.append(evictions)
+
+    print(format_table(
+        ["config"] + [str(s) for s in SIZES], rows,
+        title="Slowdown vs infinite directory, by entries per L3 bank"))
+    print("\nHWcc degrades as capacity shrinks; Cohesion stays flat because"
+          "\nsoftware-managed lines never occupy directory entries.")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,10 @@
+"""Setuptools shim for environments without the ``wheel`` package.
+
+All real metadata lives in ``pyproject.toml``; this file only enables
+``pip install -e . --no-use-pep517`` on machines whose setuptools cannot
+build wheels (e.g. offline sandboxes).
+"""
+
+from setuptools import setup
+
+setup()

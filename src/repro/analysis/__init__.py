@@ -1,0 +1,29 @@
+"""Experiment drivers and reporting for the paper's figures and tables."""
+
+from repro.analysis.area import (DirectoryAreaModel, dir4b_overhead,
+                                 duplicate_tag_overhead, full_map_overhead)
+from repro.analysis.experiments import (ExperimentConfig,
+                                        run_directory_occupancy,
+                                        run_directory_sweep,
+                                        run_message_breakdown,
+                                        run_performance,
+                                        run_stack_only_ablation,
+                                        run_useful_coherence_ops,
+                                        run_workload)
+from repro.analysis.report import format_table
+
+__all__ = [
+    "DirectoryAreaModel",
+    "ExperimentConfig",
+    "dir4b_overhead",
+    "duplicate_tag_overhead",
+    "format_table",
+    "full_map_overhead",
+    "run_directory_occupancy",
+    "run_directory_sweep",
+    "run_message_breakdown",
+    "run_performance",
+    "run_stack_only_ablation",
+    "run_useful_coherence_ops",
+    "run_workload",
+]

@@ -1,0 +1,123 @@
+"""Directory on-die area model (Section 4.4).
+
+Closed-form bit accounting for the three directory organisations the
+paper compares against the aggregate L2 capacity:
+
+* a full-map sparse directory (sharer bit per cluster, 2 state bits,
+  16 tag bits per entry),
+* the Dir4B limited scheme (four sharer pointers: 28 bits of sharer
+  state + 2 state bits + tag),
+* duplicate tags (21 tag + 2 state bits per L2 line, possibly
+  replicated per L3 bank).
+
+Sparse schemes are provisioned at the realistic sizing of Table 3 --
+16 K entries per L3 bank x 32 banks = 512 K entries, twice the 256 K
+lines the 128 L2s can hold -- while duplicate tags mirror the L2 tag
+arrays exactly. On the baseline machine this gives ~9.1 MB (~114% of
+the 8 MB aggregate L2) for full-map, 2.88 MB (36%) for Dir4B, and
+736 KB per duplicate-tag replica, matching the paper's reported
+9.28 MB / 113%, 2.88 MB / 35.1%, and 736 KB x N_replicas to within its
+own rounding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import MachineConfig
+
+MB = 1024 * 1024
+
+SPARSE_TAG_BITS = 16
+STATE_BITS = 2
+DIR4B_POINTER_BITS = 28
+DUPLICATE_TAG_BITS = 21 + STATE_BITS  # tag + line state per L2 line
+#: Realistic sparse provisioning (Table 3): entries per bank.
+SPARSE_ENTRIES_PER_BANK = 16 * 1024
+
+
+@dataclass(frozen=True)
+class AreaEstimate:
+    """Result of one directory-area calculation."""
+
+    scheme: str
+    total_bytes: int
+    fraction_of_l2: float
+
+    @property
+    def total_mb(self) -> float:
+        return self.total_bytes / MB
+
+    def __str__(self) -> str:
+        return (f"{self.scheme}: {self.total_mb:.2f} MB "
+                f"({self.fraction_of_l2 * 100:.1f}% of aggregate L2)")
+
+
+class DirectoryAreaModel:
+    """Bit-level storage accounting for one machine configuration."""
+
+    def __init__(self, config: MachineConfig = None) -> None:
+        self.config = config or MachineConfig()
+
+    @property
+    def on_die_lines(self) -> int:
+        """Lines the L2s can hold on die (one duplicate tag each)."""
+        return self.config.l2_lines * self.config.n_clusters
+
+    @property
+    def sparse_entries(self) -> int:
+        """Entries provisioned by the realistic sparse organisation."""
+        return SPARSE_ENTRIES_PER_BANK * self.config.l3_banks
+
+    @property
+    def l2_aggregate_bytes(self) -> int:
+        return self.config.l2_total_bytes
+
+    def _estimate(self, scheme: str, bits_per_entry: int,
+                  entries: int) -> AreaEstimate:
+        total = (bits_per_entry * entries + 7) // 8
+        return AreaEstimate(scheme, total, total / self.l2_aggregate_bytes)
+
+    def full_map(self) -> AreaEstimate:
+        """Sparse full-map: one sharer bit per cluster + state + tag."""
+        bits = self.config.n_clusters + STATE_BITS + SPARSE_TAG_BITS
+        return self._estimate("full-map", bits, self.sparse_entries)
+
+    def dir4b(self) -> AreaEstimate:
+        """Limited four-pointer scheme (Dir4B)."""
+        bits = DIR4B_POINTER_BITS + STATE_BITS + SPARSE_TAG_BITS
+        return self._estimate("Dir4B", bits, self.sparse_entries)
+
+    def duplicate_tags(self, replicas: int = 1) -> AreaEstimate:
+        """Duplicate-tag directory with per-L3-bank replication.
+
+        A single replica is small but must be as associative as the sum
+        of all L2 ways (2048 ways here) and service every bank's lookups;
+        replicating across banks multiplies the cost by 1x to n_banks x.
+        """
+        if replicas < 1 or replicas > self.config.l3_banks:
+            raise ValueError("replicas must be in [1, l3_banks]")
+        bits = DUPLICATE_TAG_BITS
+        entries = self.on_die_lines * replicas
+        return self._estimate(f"duplicate-tags x{replicas}", bits, entries)
+
+    def duplicate_tag_associativity(self) -> int:
+        """Required associativity of one duplicate-tag replica."""
+        return self.config.l2_assoc * self.config.n_clusters
+
+    def summary(self) -> "list[AreaEstimate]":
+        return [self.full_map(), self.dir4b(), self.duplicate_tags(1),
+                self.duplicate_tags(self.config.l3_banks)]
+
+
+def full_map_overhead(config: MachineConfig = None) -> AreaEstimate:
+    return DirectoryAreaModel(config).full_map()
+
+
+def dir4b_overhead(config: MachineConfig = None) -> AreaEstimate:
+    return DirectoryAreaModel(config).dir4b()
+
+
+def duplicate_tag_overhead(config: MachineConfig = None,
+                           replicas: int = 1) -> AreaEstimate:
+    return DirectoryAreaModel(config).duplicate_tags(replicas)

@@ -1,0 +1,259 @@
+"""Canned drivers for every experiment in the evaluation (Section 4).
+
+Each ``run_*`` function regenerates the data behind one paper figure;
+see DESIGN.md's per-experiment index for the mapping. All drivers share
+an :class:`ExperimentConfig` that fixes the machine scale (clusters) and
+workload scale -- defaults are sized for a laptop; set ``REPRO_CLUSTERS``
+/ ``REPRO_SCALE`` (or ``REPRO_FULL=1`` for the paper's 128-cluster
+machine) to run larger. EXPERIMENTS.md records which scale produced the
+committed numbers.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.config import MachineConfig, Policy
+from repro.sim.machine import Machine
+from repro.sim.stats import RunStats
+from repro.types import DirectoryKind, SegmentClass
+from repro.workloads import ALL_WORKLOADS, get_workload
+
+#: Directory sizes swept in Figures 9a/9b (entries per L3 cache bank).
+DIRECTORY_SWEEP_SIZES = (256, 512, 1024, 2048, 4096, 8192, 16384)
+
+#: The four design points of Figures 2 and 8.
+def standard_policies() -> Dict[str, Policy]:
+    return {
+        "SWcc": Policy.swcc(),
+        "Cohesion": Policy.cohesion(),
+        "HWccIdeal": Policy.hwcc_ideal(),
+        "HWccReal": Policy.hwcc_real(),
+    }
+
+
+#: The six configurations of Figure 10 (normalized to the first).
+def figure10_policies() -> Dict[str, Policy]:
+    return {
+        "Cohesion": Policy.cohesion_ideal(),
+        "CohesionLimited": Policy.cohesion(directory=DirectoryKind.DIR4B),
+        "SWcc": Policy.swcc(),
+        "HWccOpt": Policy.hwcc_ideal(),
+        "HWccReal": Policy.hwcc_real(),
+        "HWccLimited": Policy(kind=Policy.hwcc_real().kind,
+                              directory=DirectoryKind.DIR4B),
+    }
+
+
+@dataclass
+class ExperimentConfig:
+    """Machine/workload scale shared by every experiment driver."""
+
+    n_clusters: int = 4
+    scale: float = 1.0
+    track_data: bool = False
+    seed: int = 1234
+    ops_per_slice: int = 8
+    overrides: Dict[str, object] = field(default_factory=dict)
+
+    @staticmethod
+    def from_env() -> "ExperimentConfig":
+        """Build from REPRO_* environment variables.
+
+        ``REPRO_FULL=1`` selects the paper's full 128-cluster machine;
+        otherwise ``REPRO_CLUSTERS`` (default 4) and ``REPRO_SCALE``
+        (default 1.0) control the scaled run.
+        """
+        if os.environ.get("REPRO_FULL") == "1":
+            return ExperimentConfig(n_clusters=128)
+        return ExperimentConfig(
+            n_clusters=int(os.environ.get("REPRO_CLUSTERS", "4")),
+            scale=float(os.environ.get("REPRO_SCALE", "1.0")),
+        )
+
+    def machine_config(self, **extra) -> MachineConfig:
+        base = MachineConfig(track_data=self.track_data)
+        config = base.scaled(self.n_clusters) if self.n_clusters < 128 else base
+        merged = dict(self.overrides)
+        merged.update(extra)
+        if merged:
+            config = dataclasses.replace(config, **merged)
+        return config
+
+
+def run_workload(name: str, policy: Policy, exp: ExperimentConfig,
+                 force_hw_data: bool = False, **config_extra
+                 ) -> Tuple[RunStats, Machine]:
+    """Build a fresh machine, run one workload, return (stats, machine)."""
+    machine = Machine(exp.machine_config(**config_extra), policy)
+    workload = get_workload(name, scale=exp.scale, seed=exp.seed)
+    if force_hw_data:
+        workload.force_hw_data = True
+    program = workload.build(machine)
+    stats = machine.run(program, ops_per_slice=exp.ops_per_slice)
+    return stats, machine
+
+
+# -- E1/E3: message breakdowns (Figures 2 and 8) -----------------------------
+
+def run_message_breakdown(workloads: Sequence[str] = ALL_WORKLOADS,
+                          policies: Optional[Dict[str, Policy]] = None,
+                          exp: Optional[ExperimentConfig] = None
+                          ) -> Dict[str, Dict[str, RunStats]]:
+    """L2->L3 message counts per workload per design point.
+
+    With ``policies = {SWcc, HWccIdeal}`` this is Figure 2; with all four
+    standard policies it is Figure 8. Results are raw counts; normalize
+    to SWcc for the paper's presentation.
+    """
+    exp = exp or ExperimentConfig()
+    policies = policies or standard_policies()
+    results: Dict[str, Dict[str, RunStats]] = {}
+    for name in workloads:
+        results[name] = {}
+        for label, policy in policies.items():
+            stats, _machine = run_workload(name, policy, exp)
+            results[name][label] = stats
+    return results
+
+
+# -- E2: useful coherence instructions vs L2 size (Figure 3) -------------------
+
+L2_SWEEP_BYTES = (8 * 1024, 16 * 1024, 32 * 1024, 64 * 1024, 128 * 1024)
+
+
+def run_useful_coherence_ops(workloads: Sequence[str] = ALL_WORKLOADS,
+                             l2_sizes: Sequence[int] = L2_SWEEP_BYTES,
+                             exp: Optional[ExperimentConfig] = None
+                             ) -> Dict[str, Dict[int, Dict[str, float]]]:
+    """Fraction of SWcc INV/WB instructions that hit valid L2 lines.
+
+    Runs pure SWcc with the L2 swept from 8 KB to 128 KB. Larger caches
+    retain lines until their coherence instruction arrives, so the
+    useful fraction rises with capacity (Figure 3).
+    """
+    exp = exp or ExperimentConfig()
+    results: Dict[str, Dict[int, Dict[str, float]]] = {}
+    for name in workloads:
+        results[name] = {}
+        for l2_bytes in l2_sizes:
+            stats, _machine = run_workload(name, Policy.swcc(), exp,
+                                           l2_bytes=l2_bytes)
+            counters = stats.messages
+            results[name][l2_bytes] = {
+                "useful_inv": counters.useful_inv_fraction,
+                "useful_wb": counters.useful_wb_fraction,
+                "useful_all": counters.useful_coherence_fraction,
+                "inv_issued": counters.inv_issued,
+                "wb_issued": counters.wb_issued,
+            }
+    return results
+
+
+# -- E4/E5: slowdown vs directory size (Figures 9a and 9b) ---------------------
+
+def run_directory_sweep(workloads: Sequence[str] = ALL_WORKLOADS,
+                        sizes: Sequence[int] = DIRECTORY_SWEEP_SIZES,
+                        hybrid: bool = False,
+                        exp: Optional[ExperimentConfig] = None
+                        ) -> Dict[str, Dict[int, float]]:
+    """Runtime vs directory entries per bank, normalized to infinite.
+
+    Directories are made fully associative to isolate capacity (as in
+    the paper); ``hybrid`` selects Cohesion (Figure 9b) instead of pure
+    HWcc (Figure 9a).
+    """
+    exp = exp or ExperimentConfig()
+    make = Policy.cohesion if hybrid else Policy.hwcc_real
+    baseline_policy = (Policy.cohesion_ideal() if hybrid
+                       else Policy.hwcc_ideal())
+    results: Dict[str, Dict[int, float]] = {}
+    for name in workloads:
+        base_stats, _machine = run_workload(name, baseline_policy, exp)
+        base = max(1.0, base_stats.cycles)
+        results[name] = {}
+        for entries in sizes:
+            policy = make(entries_per_bank=entries, assoc=entries)
+            stats, _machine = run_workload(name, policy, exp)
+            results[name][entries] = stats.cycles / base
+    return results
+
+
+# -- E6: directory occupancy (Figure 9c) ----------------------------------------
+
+def run_directory_occupancy(workloads: Sequence[str] = ALL_WORKLOADS,
+                            exp: Optional[ExperimentConfig] = None
+                            ) -> Dict[str, Dict[str, dict]]:
+    """Time-average and maximum directory entries, classified by segment.
+
+    Both Cohesion and HWcc run with unbounded directories, mirroring the
+    paper's methodology of sampling every 1000 cycles (we integrate the
+    exact time-weighted occupancy instead of sampling).
+    """
+    exp = exp or ExperimentConfig()
+    results: Dict[str, Dict[str, dict]] = {}
+    for name in workloads:
+        results[name] = {}
+        for label, policy in (("Cohesion", Policy.cohesion_ideal()),
+                              ("HWcc", Policy.hwcc_ideal())):
+            stats, _machine = run_workload(name, policy, exp)
+            results[name][label] = {
+                "avg": stats.dir_avg_entries,
+                "max": stats.dir_max_entries,
+                "by_class": dict(stats.dir_avg_by_class),
+            }
+    return results
+
+
+# -- E7: relative performance (Figure 10) -----------------------------------------
+
+def run_performance(workloads: Sequence[str] = ALL_WORKLOADS,
+                    exp: Optional[ExperimentConfig] = None
+                    ) -> Dict[str, Dict[str, float]]:
+    """Runtime of the six Figure 10 configs, normalized to Cohesion."""
+    exp = exp or ExperimentConfig()
+    results: Dict[str, Dict[str, float]] = {}
+    for name in workloads:
+        raw: Dict[str, float] = {}
+        for label, policy in figure10_policies().items():
+            stats, _machine = run_workload(name, policy, exp)
+            raw[label] = stats.cycles
+        base = max(1.0, raw["Cohesion"])
+        results[name] = {label: cycles / base for label, cycles in raw.items()}
+    return results
+
+
+# -- E10: stack-only ablation (Section 4.3) -----------------------------------------
+
+def run_stack_only_ablation(workloads: Sequence[str] = ALL_WORKLOADS,
+                            exp: Optional[ExperimentConfig] = None
+                            ) -> Dict[str, Dict[str, float]]:
+    """Directory savings from keeping only stacks (and code) incoherent.
+
+    The paper observes that for some benchmarks the stack alone achieves
+    much of Cohesion's directory savings, but on average contributes
+    only ~15% of HWcc's entries; the bulk of the savings comes from
+    moving shared heap/global data to the incoherent heap. This driver
+    reports average entries for pure HWcc, Cohesion with *only* the
+    coarse stack/code regions incoherent (all workload data forced onto
+    the coherent heap), and full Cohesion.
+    """
+    exp = exp or ExperimentConfig()
+    results: Dict[str, Dict[str, float]] = {}
+    for name in workloads:
+        hwcc, _m = run_workload(name, Policy.hwcc_ideal(), exp)
+        stack_only, _m = run_workload(name, Policy.cohesion_ideal(), exp,
+                                      force_hw_data=True)
+        full, _m = run_workload(name, Policy.cohesion_ideal(), exp)
+        results[name] = {
+            "HWcc": hwcc.dir_avg_entries,
+            "StackOnly": stack_only.dir_avg_entries,
+            "Cohesion": full.dir_avg_entries,
+            "stack_share_of_hwcc": (
+                hwcc.dir_avg_by_class[SegmentClass.STACK]
+                / max(1.0, hwcc.dir_avg_entries)),
+        }
+    return results

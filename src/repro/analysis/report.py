@@ -1,0 +1,110 @@
+"""Plain-text table rendering for experiment results.
+
+The paper's figures are bar charts and line plots; the harness prints
+the same data as aligned text tables (one row per benchmark or sweep
+point) so runs are diffable and greppable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+from repro.types import MESSAGE_STACK_ORDER, MessageType
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]],
+                 title: str = "") -> str:
+    """Render an aligned ASCII table."""
+    str_rows: List[List[str]] = [[_cell(value) for value in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in str_rows:
+        lines.append("  ".join(cell.rjust(widths[i]) if i else cell.ljust(widths[i])
+                               for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}" if abs(value) < 100 else f"{value:,.0f}"
+    if isinstance(value, int):
+        return f"{value:,}"
+    return str(value)
+
+
+def message_breakdown_rows(stats_by_config: Dict[str, "object"],
+                           normalize_to: str) -> List[List[object]]:
+    """Rows of per-category message fractions, normalized to one config.
+
+    Matches the stacked-bar presentation of Figures 2 and 8: every
+    config's categories are expressed as a fraction of the *total*
+    messages of ``normalize_to``.
+    """
+    base = max(1, stats_by_config[normalize_to].messages.total())
+    rows = []
+    for label, stats in stats_by_config.items():
+        breakdown = stats.messages.as_dict()
+        row: List[object] = [label]
+        for mtype in MESSAGE_STACK_ORDER:
+            row.append(breakdown[mtype] / base)
+        row.append(stats.messages.total() / base)
+        rows.append(row)
+    return rows
+
+
+MESSAGE_HEADERS = ["config"] + [m.value for m in MESSAGE_STACK_ORDER] + ["total"]
+
+
+def ascii_bar_chart(items: "List[tuple]", width: int = 48,
+                    title: str = "", unit: str = "x") -> str:
+    """Horizontal ASCII bars -- the textual rendition of a paper figure.
+
+    ``items`` is a list of (label, value); bars are scaled to the
+    largest value. A value of exactly 1.0 is the usual normalisation
+    baseline and is marked.
+    """
+    if not items:
+        return title
+    peak = max(value for _label, value in items) or 1.0
+    label_width = max(len(str(label)) for label, _v in items)
+    lines = [title] if title else []
+    for label, value in items:
+        bar = "#" * max(1, round(width * value / peak))
+        mark = " (baseline)" if abs(value - 1.0) < 1e-9 else ""
+        lines.append(f"{str(label):<{label_width}}  "
+                     f"{value:7.3f}{unit} |{bar}{mark}")
+    return "\n".join(lines)
+
+
+def grouped_bar_chart(groups: "Dict[str, Dict[str, float]]",
+                      order: Sequence[str], width: int = 40,
+                      title: str = "", unit: str = "x") -> str:
+    """One labelled bar block per group (e.g. per benchmark)."""
+    blocks = [title] if title else []
+    for group, values in groups.items():
+        items = [(label, values[label]) for label in order if label in values]
+        blocks.append(ascii_bar_chart(items, width=width, title=f"[{group}]",
+                                      unit=unit))
+    return "\n\n".join(blocks)
+
+
+def short_message_headers() -> List[str]:
+    abbrev = {
+        MessageType.READ_REQUEST: "read",
+        MessageType.WRITE_REQUEST: "write",
+        MessageType.INSTRUCTION_REQUEST: "instr",
+        MessageType.UNCACHED_ATOMIC: "atomic",
+        MessageType.CACHE_EVICTION: "evict",
+        MessageType.SOFTWARE_FLUSH: "flush",
+        MessageType.READ_RELEASE: "rdrel",
+        MessageType.PROBE_RESPONSE: "probe",
+    }
+    return ["config"] + [abbrev[m] for m in MESSAGE_STACK_ORDER] + ["total"]

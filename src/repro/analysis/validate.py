@@ -1,0 +1,158 @@
+"""Reproduction self-check: one scorecard over the paper's claims.
+
+`python -m repro validate` (or :func:`run_validation`) runs a reduced
+version of every evaluation experiment and grades the paper's
+*qualitative* claims -- the directions, orderings, and crossovers that
+define the result, independent of absolute magnitudes. The benchmark
+suite asserts the same properties under pytest; this module is the
+in-library form, usable from notebooks or CI without pytest, and is
+deliberately cheap (a subset of kernels, small sweeps) so it finishes in
+about a minute at the default scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.analysis.area import DirectoryAreaModel
+from repro.analysis.experiments import (ExperimentConfig,
+                                        run_directory_occupancy,
+                                        run_directory_sweep,
+                                        run_message_breakdown,
+                                        run_useful_coherence_ops)
+from repro.config import MachineConfig, Policy
+
+#: Kernels used by the reduced check: one streaming, one atomic-heavy,
+#: one compute-bound -- the three behavioural archetypes.
+CHECK_KERNELS = ("sobel", "kmeans", "mri")
+
+
+@dataclass(frozen=True)
+class ClaimResult:
+    """Outcome of checking one qualitative claim."""
+
+    claim: str
+    source: str       # paper anchor (figure/section)
+    passed: bool
+    measured: str
+
+    def __str__(self) -> str:
+        status = "PASS" if self.passed else "FAIL"
+        return f"[{status}] {self.claim} ({self.source}): {self.measured}"
+
+
+def run_validation(exp: Optional[ExperimentConfig] = None,
+                   kernels: Sequence[str] = CHECK_KERNELS,
+                   progress: Optional[Callable[[str], None]] = None
+                   ) -> List[ClaimResult]:
+    """Run the reduced experiment set and grade every claim."""
+    import dataclasses
+
+    exp = exp or ExperimentConfig()
+    if exp.scale < 1.0:
+        # Several claims (wasted coherence instructions, HWcc's read-
+        # release overhead) exist only when per-cluster footprints
+        # exceed the fixed 64 KB L2; undersized workloads would grade
+        # the machine, not the protocol.
+        exp = dataclasses.replace(exp, scale=1.0)
+    note = progress or (lambda _msg: None)
+    results: List[ClaimResult] = []
+
+    note("running message breakdowns...")
+    policies = {"SWcc": Policy.swcc(), "Cohesion": Policy.cohesion(),
+                "HWccIdeal": Policy.hwcc_ideal()}
+    messages = run_message_breakdown(kernels, policies, exp)
+
+    def totals(label: str) -> Dict[str, int]:
+        return {name: messages[name][label].total_messages
+                for name in kernels}
+
+    swcc, cohesion, hwcc = totals("SWcc"), totals("Cohesion"), totals("HWccIdeal")
+
+    streaming = [k for k in kernels if k != "kmeans"]
+    results.append(ClaimResult(
+        "HWcc sends more messages than SWcc on non-atomic kernels",
+        "Figure 2",
+        all(hwcc[k] > swcc[k] for k in streaming),
+        ", ".join(f"{k}: {hwcc[k] / swcc[k]:.2f}x" for k in streaming)))
+    if "kmeans" in kernels:
+        results.append(ClaimResult(
+            "kmeans inverts: its SWcc atomics exceed HWcc traffic",
+            "Figure 2 / Section 2.1",
+            hwcc["kmeans"] < swcc["kmeans"],
+            f"HWcc/SWcc = {hwcc['kmeans'] / swcc['kmeans']:.2f}x"))
+        results.append(ClaimResult(
+            "read releases exist only under hardware coherence",
+            "Section 2.1",
+            all(messages[k]["SWcc"].messages.read_release == 0
+                for k in kernels)
+            and any(messages[k]["HWccIdeal"].messages.read_release > 0
+                    for k in kernels),
+            "SWcc: 0 everywhere"))
+    results.append(ClaimResult(
+        "Cohesion stays at or below optimistic HWcc traffic overall",
+        "Figure 8",
+        sum(cohesion.values()) <= sum(hwcc.values()),
+        f"{sum(cohesion.values())} vs {sum(hwcc.values())}"))
+
+    note("running L2 sweep (Figure 3)...")
+    sweep_kernel = streaming[0]
+    # Wasted coherence instructions need *lazy* barrier invalidations
+    # racing eviction, so grade this claim on a double-buffered stencil
+    # (kernels whose only SWcc ops are eager task-end flushes sit near
+    # 1.0 at every size).
+    useful = run_useful_coherence_ops(("heat",),
+                                      l2_sizes=(8 * 1024, 128 * 1024),
+                                      exp=exp)["heat"]
+    results.append(ClaimResult(
+        "useful SWcc coherence-instruction fraction grows with L2 size",
+        "Figure 3",
+        useful[128 * 1024]["useful_all"] >= useful[8 * 1024]["useful_all"]
+        and useful[8 * 1024]["useful_all"] < 0.95,
+        f"8K: {useful[8 * 1024]['useful_all']:.2f} -> "
+        f"128K: {useful[128 * 1024]['useful_all']:.2f}"))
+
+    note("running directory sweeps (Figure 9)...")
+    hw_sweep = run_directory_sweep((sweep_kernel,), sizes=(256,),
+                                   exp=exp)[sweep_kernel][256]
+    coh_sweep = run_directory_sweep((sweep_kernel,), sizes=(256,),
+                                    hybrid=True, exp=exp)[sweep_kernel][256]
+    results.append(ClaimResult(
+        "tiny directories hurt HWcc far more than Cohesion",
+        "Figures 9a/9b",
+        hw_sweep > coh_sweep and hw_sweep > 1.05,
+        f"@256/bank: HWcc {hw_sweep:.2f}x vs Cohesion {coh_sweep:.2f}x"))
+
+    note("running occupancy comparison (Figure 9c)...")
+    occupancy = run_directory_occupancy((sweep_kernel, "kmeans"), exp)
+    ratio = (sum(occupancy[k]["HWcc"]["avg"] for k in occupancy)
+             / max(1.0, sum(occupancy[k]["Cohesion"]["avg"]
+                            for k in occupancy)))
+    results.append(ClaimResult(
+        "Cohesion reduces directory utilization by at least 2x",
+        "Figure 9c / abstract",
+        ratio >= 2.0,
+        f"{ratio:.1f}x"))
+
+    note("checking area model (Section 4.4)...")
+    model = DirectoryAreaModel(MachineConfig())
+    full_map = model.full_map()
+    dir4b = model.dir4b()
+    duplicate = model.duplicate_tags()
+    results.append(ClaimResult(
+        "directory area matches the paper's Section 4.4 accounting",
+        "Section 4.4",
+        abs(full_map.total_mb - 9.28) < 0.3
+        and abs(dir4b.total_mb - 2.88) < 0.03
+        and duplicate.total_bytes == 736 * 1024,
+        f"full-map {full_map.total_mb:.2f} MB, Dir4B {dir4b.total_mb:.2f} MB, "
+        f"dup-tags {duplicate.total_bytes // 1024} KB"))
+    return results
+
+
+def format_scorecard(results: Sequence[ClaimResult]) -> str:
+    passed = sum(1 for r in results if r.passed)
+    lines = [str(r) for r in results]
+    lines.append(f"-- {passed}/{len(results)} claims reproduced")
+    return "\n".join(lines)

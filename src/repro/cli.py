@@ -1,0 +1,327 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``run``
+    Run one workload under one memory model and print its statistics.
+``compare``
+    Run one workload under all four Section 4.1 design points and print
+    the message/runtime/directory comparison.
+``sweep``
+    Directory-capacity sweep (Figure 9a/9b style) for one workload.
+``figures``
+    Regenerate one or all of the paper's figures/tables into a results
+    directory (the same drivers the benchmark suite uses).
+``area``
+    Print the Section 4.4 directory area estimates.
+``info``
+    Dump the (possibly scaled) machine configuration.
+``workloads``
+    List the available kernels.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+from typing import Optional, Sequence
+
+from repro.analysis.area import DirectoryAreaModel
+from repro.analysis.experiments import (DIRECTORY_SWEEP_SIZES, L2_SWEEP_BYTES,
+                                        ExperimentConfig,
+                                        run_directory_occupancy,
+                                        run_directory_sweep,
+                                        run_message_breakdown,
+                                        run_performance,
+                                        run_stack_only_ablation,
+                                        run_useful_coherence_ops,
+                                        run_workload, standard_policies,
+                                        figure10_policies)
+from repro.analysis.report import (format_table, message_breakdown_rows,
+                                   short_message_headers)
+from repro.config import MachineConfig, Policy
+from repro.types import DirectoryKind, SegmentClass
+from repro.workloads import ALL_WORKLOADS
+
+POLICY_CHOICES = ("swcc", "hwcc-ideal", "hwcc-real", "hwcc-dir4b",
+                  "cohesion", "cohesion-ideal", "cohesion-dir4b")
+
+FIGURE_CHOICES = ("fig02", "fig03", "fig08", "fig09a", "fig09b", "fig09c",
+                  "fig10", "sec44", "ablation", "all")
+
+
+def policy_from_name(name: str, entries: int = 16 * 1024,
+                     assoc: int = 128) -> Policy:
+    """Map a CLI policy name to a :class:`~repro.config.Policy`."""
+    if name == "swcc":
+        return Policy.swcc()
+    if name == "hwcc-ideal":
+        return Policy.hwcc_ideal()
+    if name == "hwcc-real":
+        return Policy.hwcc_real(entries, assoc)
+    if name == "hwcc-dir4b":
+        return Policy(kind=Policy.hwcc_real().kind,
+                      directory=DirectoryKind.DIR4B,
+                      dir_entries_per_bank=entries, dir_assoc=assoc)
+    if name == "cohesion":
+        return Policy.cohesion(entries, assoc)
+    if name == "cohesion-ideal":
+        return Policy.cohesion_ideal()
+    if name == "cohesion-dir4b":
+        return Policy.cohesion(entries, assoc, directory=DirectoryKind.DIR4B)
+    raise ValueError(f"unknown policy {name!r}")
+
+
+def _experiment_from_args(args) -> ExperimentConfig:
+    exp = ExperimentConfig.from_env()
+    if args.clusters is not None:
+        exp.n_clusters = args.clusters
+    if args.scale is not None:
+        exp.scale = args.scale
+    if getattr(args, "track_data", False):
+        exp.track_data = True
+    return exp
+
+
+def _add_scale_args(parser) -> None:
+    parser.add_argument("--clusters", type=int, default=None,
+                        help="clusters to simulate (8 cores each)")
+    parser.add_argument("--scale", type=float, default=None,
+                        help="workload dataset/task scale factor")
+
+
+# -- commands ----------------------------------------------------------------
+
+def cmd_run(args) -> int:
+    exp = _experiment_from_args(args)
+    policy = policy_from_name(args.policy, args.dir_entries, args.dir_assoc)
+    stats, machine = run_workload(args.workload, policy, exp)
+    print(f"{args.workload} under {args.policy} "
+          f"({machine.config.n_cores} cores):")
+    for line in stats.summary_lines():
+        print("  " + line)
+    if exp.track_data and stats.load_mismatches:
+        print(f"  LOAD MISMATCHES: {len(stats.load_mismatches)}")
+        return 1
+    return 0
+
+
+def cmd_compare(args) -> int:
+    exp = _experiment_from_args(args)
+    results = run_message_breakdown([args.workload], standard_policies(),
+                                    exp)[args.workload]
+    rows = message_breakdown_rows(results, normalize_to="SWcc")
+    print(format_table(short_message_headers(), rows,
+                       title=f"{args.workload}: messages normalized to SWcc"))
+    perf_rows = [[label,
+                  stats.cycles,
+                  stats.cycles / results["SWcc"].cycles,
+                  stats.dir_avg_entries]
+                 for label, stats in results.items()]
+    print()
+    print(format_table(
+        ["config", "cycles", "vs SWcc", "avg dir entries"], perf_rows,
+        title="runtime and directory pressure"))
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    exp = _experiment_from_args(args)
+    sizes = tuple(int(s) for s in args.sizes.split(","))
+    rows = []
+    for label, hybrid in (("HWcc", False), ("Cohesion", True)):
+        sweep = run_directory_sweep([args.workload], sizes, hybrid=hybrid,
+                                    exp=exp)[args.workload]
+        rows.append([label] + [sweep[s] for s in sizes])
+    print(format_table(["config"] + [str(s) for s in sizes], rows,
+                       title=f"{args.workload}: slowdown vs directory "
+                             "entries/bank (normalized to infinite)"))
+    return 0
+
+
+def cmd_area(args) -> int:
+    model = DirectoryAreaModel(MachineConfig())
+    rows = [[e.scheme, e.total_mb, e.fraction_of_l2 * 100]
+            for e in model.summary()]
+    print(format_table(["scheme", "MB", "% of L2"], rows,
+                       title="Section 4.4 directory area (1024-core baseline)"))
+    print(f"duplicate-tag associativity required: "
+          f"{model.duplicate_tag_associativity()} ways")
+    return 0
+
+
+def cmd_info(args) -> int:
+    exp = _experiment_from_args(args)
+    config = exp.machine_config()
+    rows = [
+        ["cores", config.n_cores],
+        ["clusters", config.n_clusters],
+        ["L1I / L1D per core", f"{config.l1i_bytes} B / {config.l1d_bytes} B"],
+        ["L2 per cluster", f"{config.l2_bytes // 1024} KB, "
+                           f"{config.l2_assoc}-way, {config.l2_latency} clk"],
+        ["L3", f"{config.l3_bytes // 1024} KB in {config.l3_banks} banks, "
+               f"{config.l3_latency}+ clk"],
+        ["DRAM", f"{config.dram_channels} channels, "
+                 f"{config.memory_bw_gbps:g} GB/s"],
+        ["line size", f"{config.line_bytes} B ({config.words_per_line} words)"],
+        ["write buffer", config.write_buffer_depth],
+        ["tree bandwidth", f"{config.tree_msgs_per_cycle:g} msg/clk/dir"],
+    ]
+    print(format_table(["parameter", "value"], rows,
+                       title="machine configuration (Table 3, scaled)"))
+    return 0
+
+
+def cmd_validate(args) -> int:
+    from repro.analysis.validate import format_scorecard, run_validation
+
+    exp = _experiment_from_args(args)
+    results = run_validation(exp, progress=lambda msg: print(f"  {msg}"))
+    print()
+    print(format_scorecard(results))
+    return 0 if all(r.passed for r in results) else 1
+
+
+def cmd_workloads(args) -> int:
+    from repro.workloads import WORKLOADS
+
+    rows = [[name, cls.__doc__.strip().splitlines()[0] if cls.__doc__ else ""]
+            for name, cls in WORKLOADS.items()]
+    print(format_table(["name", "description"], rows,
+                       title="evaluation kernels (Section 4.1)"))
+    return 0
+
+
+def cmd_figures(args) -> int:
+    exp = _experiment_from_args(args)
+    out = pathlib.Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+    wanted = set(FIGURE_CHOICES[:-1]) if args.figure == "all" else {args.figure}
+
+    def publish(name: str, text: str) -> None:
+        print(f"== {name}")
+        print(text)
+        print()
+        (out / f"{name}.txt").write_text(text + "\n")
+
+    if "fig02" in wanted or "fig08" in wanted:
+        policies = standard_policies()
+        results = run_message_breakdown(ALL_WORKLOADS, policies, exp)
+        for figure, labels in (("fig02", ("SWcc", "HWccIdeal")),
+                               ("fig08", tuple(policies))):
+            if figure not in wanted:
+                continue
+            sections = []
+            for name in ALL_WORKLOADS:
+                subset = {k: results[name][k] for k in labels}
+                rows = message_breakdown_rows(subset, normalize_to="SWcc")
+                sections.append(format_table(short_message_headers(), rows,
+                                             title=f"[{name}]"))
+            publish(figure, "\n\n".join(sections))
+    if "fig03" in wanted:
+        results = run_useful_coherence_ops(ALL_WORKLOADS, L2_SWEEP_BYTES, exp)
+        headers = ["benchmark"] + [f"{s // 1024}K" for s in L2_SWEEP_BYTES]
+        rows = [[n] + [results[n][s]["useful_all"] for s in L2_SWEEP_BYTES]
+                for n in ALL_WORKLOADS]
+        publish("fig03", format_table(headers, rows))
+    for figure, hybrid in (("fig09a", False), ("fig09b", True)):
+        if figure in wanted:
+            results = run_directory_sweep(ALL_WORKLOADS,
+                                          DIRECTORY_SWEEP_SIZES,
+                                          hybrid=hybrid, exp=exp)
+            headers = ["benchmark"] + [str(s) for s in DIRECTORY_SWEEP_SIZES]
+            rows = [[n] + [results[n][s] for s in DIRECTORY_SWEEP_SIZES]
+                    for n in ALL_WORKLOADS]
+            publish(figure, format_table(headers, rows))
+    if "fig09c" in wanted:
+        results = run_directory_occupancy(ALL_WORKLOADS, exp)
+        rows = []
+        for n in ALL_WORKLOADS:
+            for label in ("Cohesion", "HWcc"):
+                e = results[n][label]
+                rows.append([n, label, e["avg"], e["max"],
+                             e["by_class"][SegmentClass.STACK]])
+        publish("fig09c", format_table(
+            ["benchmark", "config", "avg", "max", "stack avg"], rows))
+    if "fig10" in wanted:
+        results = run_performance(ALL_WORKLOADS, exp)
+        labels = list(figure10_policies())
+        rows = [[n] + [results[n][label] for label in labels]
+                for n in ALL_WORKLOADS]
+        publish("fig10", format_table(["benchmark"] + labels, rows))
+    if "sec44" in wanted:
+        model = DirectoryAreaModel(MachineConfig())
+        rows = [[e.scheme, e.total_mb, e.fraction_of_l2 * 100]
+                for e in model.summary()]
+        publish("sec44", format_table(["scheme", "MB", "% of L2"], rows))
+    if "ablation" in wanted:
+        results = run_stack_only_ablation(ALL_WORKLOADS, exp)
+        rows = [[n, results[n]["HWcc"], results[n]["StackOnly"],
+                 results[n]["Cohesion"]] for n in ALL_WORKLOADS]
+        publish("ablation", format_table(
+            ["benchmark", "HWcc", "stack-only", "Cohesion"], rows))
+    return 0
+
+
+# -- parser --------------------------------------------------------------------
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Cohesion (ISCA 2010) reproduction toolkit")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_run = sub.add_parser("run", help="run one workload/policy")
+    p_run.add_argument("--workload", choices=ALL_WORKLOADS, required=True)
+    p_run.add_argument("--policy", choices=POLICY_CHOICES, default="cohesion")
+    p_run.add_argument("--dir-entries", type=int, default=16 * 1024)
+    p_run.add_argument("--dir-assoc", type=int, default=128)
+    p_run.add_argument("--track-data", action="store_true",
+                       help="carry and verify real data values")
+    _add_scale_args(p_run)
+    p_run.set_defaults(func=cmd_run)
+
+    p_cmp = sub.add_parser("compare", help="all four design points")
+    p_cmp.add_argument("--workload", choices=ALL_WORKLOADS, required=True)
+    _add_scale_args(p_cmp)
+    p_cmp.set_defaults(func=cmd_compare)
+
+    p_sweep = sub.add_parser("sweep", help="directory capacity sweep")
+    p_sweep.add_argument("--workload", choices=ALL_WORKLOADS, required=True)
+    p_sweep.add_argument("--sizes", default="256,1024,4096,16384")
+    _add_scale_args(p_sweep)
+    p_sweep.set_defaults(func=cmd_sweep)
+
+    p_fig = sub.add_parser("figures", help="regenerate paper figures")
+    p_fig.add_argument("figure", choices=FIGURE_CHOICES, nargs="?",
+                       default="all")
+    p_fig.add_argument("--out", default="results")
+    _add_scale_args(p_fig)
+    p_fig.set_defaults(func=cmd_figures)
+
+    p_area = sub.add_parser("area", help="Section 4.4 area estimates")
+    p_area.set_defaults(func=cmd_area)
+
+    p_info = sub.add_parser("info", help="dump the machine configuration")
+    _add_scale_args(p_info)
+    p_info.set_defaults(func=cmd_info)
+
+    p_wl = sub.add_parser("workloads", help="list evaluation kernels")
+    p_wl.set_defaults(func=cmd_workloads)
+
+    p_val = sub.add_parser("validate",
+                           help="grade the paper's qualitative claims")
+    _add_scale_args(p_val)
+    p_val.set_defaults(func=cmd_validate)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,21 @@
+"""Coherence protocols: message taxonomy, directories, MSI, and SWcc."""
+
+from repro.coherence.messages import MessageCounters
+from repro.coherence.directory import (
+    DirectoryEntry,
+    InfiniteDirectory,
+    SparseDirectory,
+    LimitedPointerDirectory,
+    build_directory,
+)
+from repro.coherence.swcc import classify_sw_state
+
+__all__ = [
+    "DirectoryEntry",
+    "InfiniteDirectory",
+    "LimitedPointerDirectory",
+    "MessageCounters",
+    "SparseDirectory",
+    "build_directory",
+    "classify_sw_state",
+]

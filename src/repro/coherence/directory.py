@@ -1,0 +1,301 @@
+"""On-die directory organisations (Sections 3.2 and 4.4).
+
+One directory bank sits beside each L3 cache bank; all requests for a line
+serialise through its home bank. Three organisations are modelled:
+
+* :class:`InfiniteDirectory` -- the paper's *optimistic* configuration: a
+  full-map directory with unbounded capacity and full associativity,
+  eliminating directory evictions and broadcasts.
+* :class:`SparseDirectory` -- the *realistic* configuration: a sparse [15]
+  set-associative directory (default 16 K entries x 128 ways per bank)
+  holding entries only for lines present in at least one L2. Evicted
+  entries invalidate all their sharers.
+* :class:`LimitedPointerDirectory` -- the Dir4B limited scheme [2]: same
+  sparse organisation, but each entry tracks at most four explicit sharer
+  pointers; a fifth sharer sets the entry's broadcast bit, after which
+  invalidations must probe every cluster.
+
+Entries always carry the *true* sharer bitmask (the simulator's ground
+truth); the limited scheme only changes how invalidations are costed
+(broadcast vs. multicast), exactly the behavioural difference that
+matters for message counts and runtime.
+
+The directory is inclusive of the L2s: every HWcc line cached in any L2
+has an entry. Time-weighted occupancy per segment class is tracked here
+for Figure 9c.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.errors import ConfigError, ProtocolError
+from repro.types import DirectoryKind, DirState, SegmentClass
+
+DIR_S = 0
+DIR_M = 1
+
+_STATE_ENUM = {DIR_S: DirState.SHARED, DIR_M: DirState.MODIFIED}
+
+
+def popcount(mask: int) -> int:
+    """Number of set bits in ``mask`` (sharer count)."""
+    try:
+        return mask.bit_count()
+    except AttributeError:  # pragma: no cover - Python < 3.10
+        return bin(mask).count("1")
+
+
+class DirectoryEntry:
+    """Directory state for one HWcc line."""
+
+    __slots__ = ("line", "state", "sharers", "broadcast", "lru", "klass")
+
+    def __init__(self, line: int, klass: SegmentClass) -> None:
+        self.line = line
+        self.state = DIR_S
+        self.sharers = 0          # bitmask over clusters
+        self.broadcast = False    # limited-pointer overflow
+        self.lru = 0
+        self.klass = klass
+
+    @property
+    def state_enum(self) -> DirState:
+        return _STATE_ENUM[self.state]
+
+    @property
+    def n_sharers(self) -> int:
+        return popcount(self.sharers)
+
+    def owner(self) -> int:
+        """Cluster id of the single owner of a MODIFIED line."""
+        if self.state != DIR_M or popcount(self.sharers) != 1:
+            raise ProtocolError(f"line {self.line:#x} has no unique owner")
+        return self.sharers.bit_length() - 1
+
+    def sharer_ids(self) -> List[int]:
+        ids = []
+        mask = self.sharers
+        while mask:
+            low = mask & -mask
+            ids.append(low.bit_length() - 1)
+            mask ^= low
+        return ids
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"DirectoryEntry({self.line:#x}, {self.state_enum.value}, "
+                f"sharers={self.sharers:#x}, bcast={self.broadcast})")
+
+
+class _Occupancy:
+    """Time-weighted entry-count accounting for one bank (Figure 9c)."""
+
+    __slots__ = ("last_time", "weighted", "weighted_by_class",
+                 "count", "count_by_class", "max_count")
+
+    def __init__(self) -> None:
+        self.last_time = 0.0
+        self.weighted = 0.0
+        self.weighted_by_class = {klass: 0.0 for klass in SegmentClass}
+        self.count = 0
+        self.count_by_class = {klass: 0 for klass in SegmentClass}
+        self.max_count = 0
+
+    def advance(self, now: float) -> None:
+        dt = now - self.last_time
+        if dt <= 0:
+            return
+        self.weighted += self.count * dt
+        for klass, count in self.count_by_class.items():
+            if count:
+                self.weighted_by_class[klass] += count * dt
+        self.last_time = now
+
+    def on_alloc(self, now: float, klass: SegmentClass) -> None:
+        self.advance(now)
+        self.count += 1
+        self.count_by_class[klass] += 1
+        if self.count > self.max_count:
+            self.max_count = self.count
+
+    def on_free(self, now: float, klass: SegmentClass) -> None:
+        self.advance(now)
+        self.count -= 1
+        self.count_by_class[klass] -= 1
+
+
+class BaseDirectory:
+    """Common storage-independent behaviour of one directory bank."""
+
+    kind: DirectoryKind = DirectoryKind.INFINITE
+    max_pointers: Optional[int] = None  # None => full-map sharer vector
+
+    def __init__(self) -> None:
+        self.occupancy = _Occupancy()
+        #: Optional machine-wide tracker shared by every bank, so the
+        #: *global* time-average and maximum entry counts (Figure 9c) are
+        #: exact rather than a sum of per-bank maxima.
+        self.global_occupancy: Optional[_Occupancy] = None
+        self._tick = 0
+        self.evictions = 0
+
+    # -- interface to implement -------------------------------------------
+    def get(self, line: int) -> Optional[DirectoryEntry]:
+        raise NotImplementedError
+
+    def _insert(self, entry: DirectoryEntry) -> Optional[DirectoryEntry]:
+        """Store ``entry``; return a victim entry if one had to be evicted."""
+        raise NotImplementedError
+
+    def _delete(self, line: int) -> Optional[DirectoryEntry]:
+        raise NotImplementedError
+
+    def entries(self) -> Iterator[DirectoryEntry]:
+        raise NotImplementedError
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+    # -- shared logic ------------------------------------------------------
+    def touch(self, entry: DirectoryEntry) -> None:
+        self._tick += 1
+        entry.lru = self._tick
+
+    def allocate(self, line: int, klass: SegmentClass, now: float
+                 ) -> Tuple[DirectoryEntry, Optional[DirectoryEntry]]:
+        """Create an entry for ``line``; evict another entry if needed.
+
+        The caller must invalidate every sharer of the returned victim
+        (directory evictions invalidate all sharers, Section 3.2).
+        """
+        existing = self.get(line)
+        if existing is not None:
+            raise ProtocolError(f"duplicate directory allocation for {line:#x}")
+        entry = DirectoryEntry(line, klass)
+        self.touch(entry)
+        victim = self._insert(entry)
+        if victim is not None:
+            self.evictions += 1
+            self.occupancy.on_free(now, victim.klass)
+            if self.global_occupancy is not None:
+                self.global_occupancy.on_free(now, victim.klass)
+        self.occupancy.on_alloc(now, klass)
+        if self.global_occupancy is not None:
+            self.global_occupancy.on_alloc(now, klass)
+        return entry, victim
+
+    def deallocate(self, entry: DirectoryEntry, now: float) -> None:
+        removed = self._delete(entry.line)
+        if removed is not entry:
+            raise ProtocolError(f"deallocating foreign entry {entry.line:#x}")
+        self.occupancy.on_free(now, entry.klass)
+        if self.global_occupancy is not None:
+            self.global_occupancy.on_free(now, entry.klass)
+
+    def add_sharer(self, entry: DirectoryEntry, cluster: int) -> None:
+        entry.sharers |= 1 << cluster
+        self.touch(entry)
+        if (self.max_pointers is not None and not entry.broadcast
+                and popcount(entry.sharers) > self.max_pointers):
+            entry.broadcast = True
+
+    def remove_sharer(self, entry: DirectoryEntry, cluster: int) -> None:
+        entry.sharers &= ~(1 << cluster)
+        if entry.sharers == 0:
+            entry.broadcast = False
+
+    def invalidation_targets(self, entry: DirectoryEntry, n_clusters: int,
+                             exclude: int = -1) -> Tuple[List[int], bool]:
+        """Clusters the directory must probe to invalidate ``entry``.
+
+        Returns ``(targets, is_broadcast)``. Under a full-map format the
+        targets are exactly the sharers; a limited entry in broadcast mode
+        must probe every cluster (all of which respond).
+        """
+        if entry.broadcast:
+            return [c for c in range(n_clusters) if c != exclude], True
+        return [c for c in entry.sharer_ids() if c != exclude], False
+
+
+class InfiniteDirectory(BaseDirectory):
+    """Optimistic full-map directory: unbounded, fully associative."""
+
+    kind = DirectoryKind.INFINITE
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._entries: Dict[int, DirectoryEntry] = {}
+
+    def get(self, line: int) -> Optional[DirectoryEntry]:
+        return self._entries.get(line)
+
+    def _insert(self, entry: DirectoryEntry) -> None:
+        self._entries[entry.line] = entry
+        return None
+
+    def _delete(self, line: int) -> Optional[DirectoryEntry]:
+        return self._entries.pop(line, None)
+
+    def entries(self) -> Iterator[DirectoryEntry]:
+        return iter(self._entries.values())
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+class SparseDirectory(BaseDirectory):
+    """Sparse set-associative full-map directory bank."""
+
+    kind = DirectoryKind.SPARSE
+
+    def __init__(self, n_entries: int, assoc: int) -> None:
+        super().__init__()
+        if n_entries <= 0 or assoc <= 0 or n_entries % assoc:
+            raise ConfigError(f"bad directory geometry: {n_entries} x {assoc}-way")
+        self.n_sets = n_entries // assoc
+        self.assoc = assoc
+        self.sets: List[Dict[int, DirectoryEntry]] = [dict() for _ in range(self.n_sets)]
+
+    def _set_of(self, line: int) -> Dict[int, DirectoryEntry]:
+        return self.sets[line % self.n_sets]
+
+    def get(self, line: int) -> Optional[DirectoryEntry]:
+        return self._set_of(line).get(line)
+
+    def _insert(self, entry: DirectoryEntry) -> Optional[DirectoryEntry]:
+        bucket = self._set_of(entry.line)
+        victim = None
+        if len(bucket) >= self.assoc:
+            victim_line = min(bucket, key=lambda ln: bucket[ln].lru)
+            victim = bucket.pop(victim_line)
+        bucket[entry.line] = entry
+        return victim
+
+    def _delete(self, line: int) -> Optional[DirectoryEntry]:
+        return self._set_of(line).pop(line, None)
+
+    def entries(self) -> Iterator[DirectoryEntry]:
+        for bucket in self.sets:
+            yield from bucket.values()
+
+    def __len__(self) -> int:
+        return sum(len(bucket) for bucket in self.sets)
+
+
+class LimitedPointerDirectory(SparseDirectory):
+    """Dir4B: sparse directory with 4 sharer pointers + broadcast bit."""
+
+    kind = DirectoryKind.DIR4B
+    max_pointers = 4
+
+
+def build_directory(kind: DirectoryKind, entries_per_bank: int = 16 * 1024,
+                    assoc: int = 128) -> BaseDirectory:
+    """Factory for one directory bank of the requested organisation."""
+    if kind is DirectoryKind.INFINITE:
+        return InfiniteDirectory()
+    if kind is DirectoryKind.SPARSE:
+        return SparseDirectory(entries_per_bank, assoc)
+    if kind is DirectoryKind.DIR4B:
+        return LimitedPointerDirectory(entries_per_bank, assoc)
+    raise ConfigError(f"unknown directory kind: {kind!r}")

@@ -1,0 +1,90 @@
+"""L2 -> L3 message accounting (the taxonomy of Figures 2 and 8).
+
+Counters are plain integer attributes for speed; :meth:`as_dict` and
+:meth:`total` provide the reporting view. A separate pair of counters
+tracks the efficiency of software coherence instructions for Figure 3:
+how many issued invalidations/writebacks actually found their target line
+valid in the local cache.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.types import MessageType
+
+
+class MessageCounters:
+    """Counts of each L2->L3 message category plus SWcc-efficiency stats."""
+
+    __slots__ = (
+        "read_request", "write_request", "instruction_request",
+        "uncached_atomic", "cache_eviction", "software_flush",
+        "read_release", "probe_response",
+        "wb_issued", "wb_on_valid", "inv_issued", "inv_on_valid",
+    )
+
+    def __init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        self.read_request = 0
+        self.write_request = 0
+        self.instruction_request = 0
+        self.uncached_atomic = 0
+        self.cache_eviction = 0
+        self.software_flush = 0
+        self.read_release = 0
+        self.probe_response = 0
+        # Figure 3: software coherence-instruction efficiency.
+        self.wb_issued = 0
+        self.wb_on_valid = 0
+        self.inv_issued = 0
+        self.inv_on_valid = 0
+
+    # -- reporting -----------------------------------------------------------
+    def as_dict(self) -> Dict[MessageType, int]:
+        return {
+            MessageType.READ_REQUEST: self.read_request,
+            MessageType.WRITE_REQUEST: self.write_request,
+            MessageType.INSTRUCTION_REQUEST: self.instruction_request,
+            MessageType.UNCACHED_ATOMIC: self.uncached_atomic,
+            MessageType.CACHE_EVICTION: self.cache_eviction,
+            MessageType.SOFTWARE_FLUSH: self.software_flush,
+            MessageType.READ_RELEASE: self.read_release,
+            MessageType.PROBE_RESPONSE: self.probe_response,
+        }
+
+    def total(self) -> int:
+        return (self.read_request + self.write_request
+                + self.instruction_request + self.uncached_atomic
+                + self.cache_eviction + self.software_flush
+                + self.read_release + self.probe_response)
+
+    @property
+    def useful_wb_fraction(self) -> float:
+        """Fraction of issued software writebacks that found a valid line."""
+        return self.wb_on_valid / self.wb_issued if self.wb_issued else 0.0
+
+    @property
+    def useful_inv_fraction(self) -> float:
+        """Fraction of issued software invalidations on valid lines."""
+        return self.inv_on_valid / self.inv_issued if self.inv_issued else 0.0
+
+    @property
+    def useful_coherence_fraction(self) -> float:
+        """Combined Figure 3 metric over all SWcc coherence instructions."""
+        issued = self.wb_issued + self.inv_issued
+        if not issued:
+            return 0.0
+        return (self.wb_on_valid + self.inv_on_valid) / issued
+
+    def merged_with(self, other: "MessageCounters") -> "MessageCounters":
+        out = MessageCounters()
+        for slot in MessageCounters.__slots__:
+            setattr(out, slot, getattr(self, slot) + getattr(other, slot))
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        parts = ", ".join(f"{k.value}={v}" for k, v in self.as_dict().items() if v)
+        return f"MessageCounters({parts})"

@@ -1,0 +1,19 @@
+"""Cohesion's primary contribution: region tables, the hybrid L3/directory
+front-end, the coherence-domain transition protocol, and the software API."""
+
+from repro.core.region_table import CoarseRegionTable, FineRegionTable
+from repro.core.tbloff import tbloff, table_slot
+from repro.core.cohesion import MemorySystem, Reply
+from repro.core.transitions import TransitionEngine
+from repro.core.api import CohesionAPI
+
+__all__ = [
+    "CoarseRegionTable",
+    "CohesionAPI",
+    "FineRegionTable",
+    "MemorySystem",
+    "Reply",
+    "TransitionEngine",
+    "table_slot",
+    "tbloff",
+]

@@ -1,0 +1,231 @@
+"""Adaptive coherence-domain remapping (the paper's future work).
+
+Section 4.2 ends with: *"We see potential to remove many of these
+messages by applying further, albeit more complicated, optimization
+strategies using Cohesion. We leave more elaborate coherence domain
+remapping strategies to future work."* This module implements one such
+strategy as a runtime service layered on the existing mechanisms -- no
+new hardware beyond what the paper already specifies.
+
+A :class:`RegionProfiler` attached to the memory system attributes L3
+traffic (read misses, write misses, upgrades, flushes, atomics) to
+registered regions and tracks each region's sharer set. At every
+barrier, an :class:`AdaptiveRemapper` re-evaluates each region:
+
+* a hardware-coherent region that was **read-only and read-shared** this
+  phase is migrated to SWcc -- its directory entries and future read
+  releases are pure overhead;
+* a software-managed region that saw **multi-cluster write traffic**
+  (flush collisions on shared lines -- the pattern that risks Case 5b
+  races and costs conservative flush/invalidate work) is migrated to
+  HWcc, where unpredictable dependences are the hardware's job;
+* regions with mixed or private behaviour keep their current domain.
+
+Hysteresis (a minimum number of phases between flips) prevents
+ping-ponging, and every migration uses the ordinary Figure 7 transition
+protocol with its full cost, so the optimizer's traffic shows up in the
+measured results like any other runtime activity.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional, Set, Tuple
+
+from repro.errors import RegionError
+from repro.types import Domain
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.machine import Machine
+
+
+@dataclass
+class RegionProfile:
+    """Traffic observed for one region during the current window."""
+
+    reads: int = 0
+    writes: int = 0
+    flushes: int = 0
+    atomics: int = 0
+    read_sharers: Set[int] = field(default_factory=set)
+    write_sharers: Set[int] = field(default_factory=set)
+
+    def reset(self) -> None:
+        self.reads = 0
+        self.writes = 0
+        self.flushes = 0
+        self.atomics = 0
+        self.read_sharers.clear()
+        self.write_sharers.clear()
+
+    @property
+    def total(self) -> int:
+        return self.reads + self.writes + self.flushes + self.atomics
+
+    @property
+    def read_only(self) -> bool:
+        return self.writes == 0 and self.flushes == 0 and self.atomics == 0
+
+    @property
+    def write_shared(self) -> bool:
+        return len(self.write_sharers) >= 2
+
+
+@dataclass
+class Region:
+    """One registered, remappable address range."""
+
+    name: str
+    base: int
+    size: int
+    domain: Domain
+    profile: RegionProfile = field(default_factory=RegionProfile)
+    phases_since_flip: int = 10 ** 9  # allow an immediate first decision
+
+    @property
+    def end(self) -> int:
+        return self.base + self.size
+
+
+class RegionProfiler:
+    """Attributes memory-system traffic to registered regions.
+
+    Installed on a :class:`~repro.core.cohesion.MemorySystem` via
+    ``memsys.profiler = profiler``; the memory system calls
+    :meth:`note` for every classified event. Lookup is a bisect over
+    the sorted region bases, so unregistered addresses cost one binary
+    search and nothing else.
+    """
+
+    def __init__(self) -> None:
+        self._bases: List[int] = []
+        self._regions: List[Region] = []
+
+    def register(self, name: str, base: int, size: int,
+                 domain: Domain) -> Region:
+        if size <= 0:
+            raise RegionError(f"region {name!r} must have positive size")
+        region = Region(name, base, size, domain)
+        index = bisect.bisect_left(self._bases, base)
+        prev_region = self._regions[index - 1] if index > 0 else None
+        if prev_region is not None and prev_region.end > base:
+            raise RegionError(f"region {name!r} overlaps {prev_region.name!r}")
+        if index < len(self._regions) and region.end > self._bases[index]:
+            raise RegionError(
+                f"region {name!r} overlaps {self._regions[index].name!r}")
+        self._bases.insert(index, base)
+        self._regions.insert(index, region)
+        return region
+
+    def region_of_line(self, line: int) -> Optional[Region]:
+        addr = line << 5
+        index = bisect.bisect_right(self._bases, addr) - 1
+        if index < 0:
+            return None
+        region = self._regions[index]
+        return region if addr < region.end else None
+
+    # Event kinds the memory system reports.
+    READ = 0
+    WRITE = 1
+    FLUSH = 2
+    ATOMIC = 3
+
+    def note(self, line: int, kind: int, cluster: int) -> None:
+        region = self.region_of_line(line)
+        if region is None:
+            return
+        profile = region.profile
+        if kind == self.READ:
+            profile.reads += 1
+            profile.read_sharers.add(cluster)
+        elif kind == self.WRITE:
+            profile.writes += 1
+            profile.write_sharers.add(cluster)
+        elif kind == self.FLUSH:
+            profile.flushes += 1
+            profile.write_sharers.add(cluster)
+        else:
+            profile.atomics += 1
+            profile.write_sharers.add(cluster)
+
+    def regions(self) -> List[Region]:
+        return list(self._regions)
+
+
+@dataclass(frozen=True)
+class RemapDecision:
+    """One migration the optimizer performed at a barrier."""
+
+    region: str
+    to_domain: Domain
+    reason: str
+    phase_index: int
+
+
+class AdaptiveRemapper:
+    """Barrier-time domain optimizer built on the Table 2 region calls."""
+
+    def __init__(self, machine: "Machine", min_traffic: int = 32,
+                 hysteresis_phases: int = 1) -> None:
+        if not machine.policy.hybrid:
+            raise RegionError("adaptive remapping requires the Cohesion policy")
+        self.machine = machine
+        self.profiler = RegionProfiler()
+        self.min_traffic = min_traffic
+        self.hysteresis_phases = hysteresis_phases
+        self.decisions: List[RemapDecision] = []
+        self._phase_index = 0
+        machine.memsys.profiler = self.profiler
+
+    def register(self, name: str, base: int, size: int,
+                 domain: Domain) -> Region:
+        """Start managing ``[base, base+size)``, currently in ``domain``."""
+        return self.profiler.register(name, base, size, domain)
+
+    # -- the phase-boundary hook -------------------------------------------
+    def on_barrier(self, machine: "Machine" = None) -> List[RemapDecision]:
+        """Re-evaluate every managed region; suitable as ``Phase.after``."""
+        machine = machine or self.machine
+        decisions: List[RemapDecision] = []
+        api = machine.api
+        for region in self.profiler.regions():
+            region.phases_since_flip += 1
+            decision = self._decide(region)
+            if decision is not None:
+                if decision[0] is Domain.SWCC:
+                    api.coh_SWcc_region(region.base, region.size)
+                else:
+                    api.coh_HWcc_region(region.base, region.size)
+                region.domain = decision[0]
+                region.phases_since_flip = 0
+                record = RemapDecision(region.name, decision[0], decision[1],
+                                       self._phase_index)
+                decisions.append(record)
+                self.decisions.append(record)
+            region.profile.reset()
+        self._phase_index += 1
+        return decisions
+
+    def _decide(self, region: Region) -> Optional[Tuple[Domain, str]]:
+        profile = region.profile
+        if profile.total < self.min_traffic:
+            return None
+        if region.phases_since_flip < self.hysteresis_phases:
+            return None
+        if (region.domain is Domain.HWCC and profile.read_only
+                and len(profile.read_sharers) >= 2):
+            return (Domain.SWCC,
+                    f"read-shared by {len(profile.read_sharers)} clusters "
+                    "with no writes")
+        if region.domain is Domain.SWCC and profile.write_shared:
+            return (Domain.HWCC,
+                    f"write traffic from {len(profile.write_sharers)} "
+                    "clusters")
+        return None
+
+    # -- reporting ---------------------------------------------------------
+    def summary(self) -> Dict[str, Domain]:
+        return {region.name: region.domain
+                for region in self.profiler.regions()}

@@ -1,0 +1,131 @@
+"""Heap allocators for the two heaps of Section 3.5.
+
+The runtime maintains a conventional coherent C-style heap (``malloc`` /
+``free``) and an *incoherent heap* (``coh_malloc`` / ``coh_free``) whose
+allocations may transition between coherence domains. The incoherent
+heap enforces a 64-byte (two cache line) minimum allocation size and
+alignment so that allocator metadata stays on coherent lines while the
+payload can change domains at line granularity.
+
+The allocator itself is a classic address-ordered first-fit free list
+with coalescing, which keeps tests deterministic.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, List, Tuple
+
+from repro.errors import AllocationError
+
+
+class FreeListAllocator:
+    """Address-ordered first-fit allocator over ``[base, base+size)``."""
+
+    def __init__(self, base: int, size: int, min_align: int = 8,
+                 min_alloc: int = 8, name: str = "heap") -> None:
+        if size <= 0:
+            raise AllocationError(f"{name}: size must be positive")
+        if min_align <= 0 or min_align & (min_align - 1):
+            raise AllocationError(f"{name}: alignment must be a power of two")
+        if base % min_align:
+            raise AllocationError(f"{name}: base not aligned to {min_align}")
+        self.base = base
+        self.size = size
+        self.min_align = min_align
+        self.min_alloc = max(min_alloc, min_align)
+        self.name = name
+        self._free: List[Tuple[int, int]] = [(base, size)]  # sorted (addr, size)
+        self._allocated: Dict[int, int] = {}
+
+    # -- allocation ----------------------------------------------------------
+    def _rounded(self, size: int) -> int:
+        if size <= 0:
+            raise AllocationError(f"{self.name}: allocation size must be positive")
+        size = max(size, self.min_alloc)
+        rem = size % self.min_align
+        return size if rem == 0 else size + (self.min_align - rem)
+
+    def alloc(self, size: int) -> int:
+        """Allocate ``size`` bytes; returns the (aligned) base address."""
+        needed = self._rounded(size)
+        for index, (addr, chunk) in enumerate(self._free):
+            if chunk >= needed:
+                if chunk == needed:
+                    self._free.pop(index)
+                else:
+                    self._free[index] = (addr + needed, chunk - needed)
+                self._allocated[addr] = needed
+                return addr
+        raise AllocationError(
+            f"{self.name}: out of memory allocating {size} bytes "
+            f"({self.free_bytes} free, fragmented into {len(self._free)} chunks)")
+
+    def free(self, addr: int) -> int:
+        """Release the allocation at ``addr``; returns its rounded size."""
+        size = self._allocated.pop(addr, None)
+        if size is None:
+            raise AllocationError(f"{self.name}: invalid or double free of {addr:#x}")
+        index = bisect.bisect_left(self._free, (addr, 0))
+        self._free.insert(index, (addr, size))
+        self._coalesce(index)
+        return size
+
+    def _coalesce(self, index: int) -> None:
+        if index + 1 < len(self._free):
+            addr, size = self._free[index]
+            nxt, nsize = self._free[index + 1]
+            if addr + size == nxt:
+                self._free[index] = (addr, size + nsize)
+                self._free.pop(index + 1)
+        if index > 0:
+            prev, psize = self._free[index - 1]
+            addr, size = self._free[index]
+            if prev + psize == addr:
+                self._free[index - 1] = (prev, psize + size)
+                self._free.pop(index)
+
+    # -- introspection ---------------------------------------------------------
+    def size_of(self, addr: int) -> int:
+        try:
+            return self._allocated[addr]
+        except KeyError:
+            raise AllocationError(f"{self.name}: {addr:#x} is not allocated") from None
+
+    def owns(self, addr: int) -> bool:
+        return self.base <= addr < self.base + self.size
+
+    @property
+    def allocated_bytes(self) -> int:
+        return sum(self._allocated.values())
+
+    @property
+    def free_bytes(self) -> int:
+        return sum(size for _addr, size in self._free)
+
+    @property
+    def live_allocations(self) -> int:
+        return len(self._allocated)
+
+    def check_invariants(self) -> None:
+        """Assert the free list is sorted, disjoint, and conserves bytes."""
+        total = self.allocated_bytes + self.free_bytes
+        if total != self.size:
+            raise AllocationError(f"{self.name}: byte conservation violated")
+        for (a0, s0), (a1, _s1) in zip(self._free, self._free[1:]):
+            if a0 + s0 > a1:
+                raise AllocationError(f"{self.name}: overlapping free chunks")
+            if a0 + s0 == a1:
+                raise AllocationError(f"{self.name}: uncoalesced free chunks")
+
+
+def make_coherent_heap(base: int, size: int) -> FreeListAllocator:
+    """Standard libc-style heap: 8-byte alignment, 16-byte minimum."""
+    return FreeListAllocator(base, size, min_align=8, min_alloc=16,
+                             name="coherent-heap")
+
+
+def make_incoherent_heap(base: int, size: int) -> FreeListAllocator:
+    """Cohesion's incoherent heap: 64-byte (two-line) minimum/alignment."""
+    return FreeListAllocator(base, size, min_align=64, min_alloc=64,
+                             name="incoherent-heap")

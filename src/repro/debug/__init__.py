@@ -1,0 +1,6 @@
+"""Debugging aids: protocol event tracing and invariant checking."""
+
+from repro.debug.checker import InvariantChecker, Violation
+from repro.debug.trace import LineTracer, TraceEvent
+
+__all__ = ["InvariantChecker", "LineTracer", "TraceEvent", "Violation"]

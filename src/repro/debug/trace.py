@@ -1,0 +1,211 @@
+"""Per-line protocol event tracing.
+
+A :class:`LineTracer` records every operation that touches a watched set
+of cache lines -- loads, stores, atomics, software flush/invalidate
+instructions, directory probes, and domain transitions -- with
+timestamps and the values involved. It is the tool to reach for when a
+verification check reports a stale value: the trace shows exactly which
+core wrote what, when it was flushed, and who invalidated it.
+
+The tracer works by wrapping methods on the live cluster and
+transition-engine objects at :meth:`attach` time and restoring them at
+:meth:`detach`; the simulated behaviour is unchanged.
+
+Example::
+
+    tracer = LineTracer(watch={0x40000000 >> 5})
+    tracer.attach(machine)
+    machine.run(program)
+    tracer.detach()
+    print(tracer.format())
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, List, Optional, Set
+
+from repro.types import Domain
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded protocol event."""
+
+    time: float
+    kind: str          # load/store/atomic/flush/inv/probe_inv/...
+    cluster: int
+    core: Optional[int]
+    line: int
+    addr: Optional[int] = None
+    value: Optional[int] = None
+    detail: str = ""
+
+    def __str__(self) -> str:
+        where = f"cluster {self.cluster}"
+        if self.core is not None:
+            where += f".{self.core}"
+        addr = f" addr={self.addr:#x}" if self.addr is not None else ""
+        value = f" value={self.value}" if self.value is not None else ""
+        detail = f" ({self.detail})" if self.detail else ""
+        return (f"[{self.time:12.1f}] {self.kind:<12s} line {self.line:#x}"
+                f"{addr}{value} by {where}{detail}")
+
+
+class LineTracer:
+    """Records events on a watched set of lines (or on every line)."""
+
+    def __init__(self, watch: Optional[Iterable[int]] = None,
+                 max_events: int = 100_000) -> None:
+        self.watch: Optional[Set[int]] = set(watch) if watch is not None else None
+        self.max_events = max_events
+        self.events: List[TraceEvent] = []
+        self._restorers: List[Callable[[], None]] = []
+        self.dropped = 0
+
+    # -- recording ----------------------------------------------------------
+    def _wants(self, line: int) -> bool:
+        return self.watch is None or line in self.watch
+
+    def _record(self, event: TraceEvent) -> None:
+        if len(self.events) >= self.max_events:
+            self.dropped += 1
+            return
+        self.events.append(event)
+
+    def watch_region(self, base: int, size: int) -> None:
+        """Add every line of ``[base, base+size)`` to the watch set."""
+        if self.watch is None:
+            self.watch = set()
+        for line in range(base >> 5, (base + size + 31) >> 5):
+            self.watch.add(line)
+
+    # -- attachment --------------------------------------------------------------
+    def attach(self, machine) -> "LineTracer":
+        """Start tracing ``machine``; returns self for chaining."""
+        if self._restorers:
+            raise RuntimeError("tracer is already attached")
+        for cluster in machine.clusters:
+            self._wrap_cluster(cluster)
+        self._wrap_transitions(machine.memsys.transitions)
+        return self
+
+    def detach(self) -> None:
+        """Stop tracing and restore all wrapped methods."""
+        for restore in reversed(self._restorers):
+            restore()
+        self._restorers.clear()
+
+    def __enter__(self) -> "LineTracer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.detach()
+
+    def _wrap(self, obj, name: str, wrapper) -> None:
+        original = getattr(obj, name)
+        setattr(obj, name, wrapper(original))
+        self._restorers.append(lambda: setattr(obj, name, original))
+
+    def _wrap_cluster(self, cluster) -> None:
+        cid = cluster.id
+        tracer = self
+
+        def wrap_load(original):
+            def load(core, addr, now):
+                finish, value = original(core, addr, now)
+                line = addr >> 5
+                if tracer._wants(line):
+                    tracer._record(TraceEvent(now, "load", cid, core, line,
+                                              addr, value))
+                return finish, value
+            return load
+
+        def wrap_store(original):
+            def store(core, addr, value, now):
+                line = addr >> 5
+                if tracer._wants(line):
+                    tracer._record(TraceEvent(now, "store", cid, core, line,
+                                              addr, value))
+                return original(core, addr, value, now)
+            return store
+
+        def wrap_atomic(original):
+            def atomic(core, addr, func, operand, now):
+                finish, old = original(core, addr, func, operand, now)
+                line = addr >> 5
+                if tracer._wants(line):
+                    tracer._record(TraceEvent(now, "atomic", cid, core, line,
+                                              addr, old,
+                                              detail=f"operand={operand}"))
+                return finish, old
+            return atomic
+
+        def wrap_lineop(kind, original):
+            def op(core, line, now):
+                if tracer._wants(line):
+                    entry = cluster.l2.peek(line)
+                    detail = ("absent" if entry is None else
+                              f"dirty={entry.dirty_mask:#04x}")
+                    tracer._record(TraceEvent(now, kind, cid, core, line,
+                                              detail=detail))
+                return original(core, line, now)
+            return op
+
+        def wrap_probe(kind, original):
+            def probe(line, now):
+                result = original(line, now)
+                if tracer._wants(line):
+                    tracer._record(TraceEvent(now, kind, cid, None, line,
+                                              detail=str(result[0])))
+                return result
+            return probe
+
+        self._wrap(cluster, "load", wrap_load)
+        self._wrap(cluster, "store", wrap_store)
+        self._wrap(cluster, "atomic", wrap_atomic)
+        self._wrap(cluster, "flush_line",
+                   lambda orig: wrap_lineop("flush", orig))
+        self._wrap(cluster, "invalidate_line",
+                   lambda orig: wrap_lineop("inv", orig))
+        self._wrap(cluster, "probe_invalidate",
+                   lambda orig: wrap_probe("probe_inv", orig))
+        self._wrap(cluster, "probe_downgrade",
+                   lambda orig: wrap_probe("probe_down", orig))
+        self._wrap(cluster, "probe_clean_query",
+                   lambda orig: wrap_probe("probe_clean", orig))
+
+    def _wrap_transitions(self, engine) -> None:
+        tracer = self
+
+        def wrap_line_work(domain: Domain, original):
+            # _to_*_line_work is the single funnel both the per-line API
+            # and bulk region conversions pass through.
+            def line_work(line, t):
+                if tracer._wants(line):
+                    tracer._record(TraceEvent(
+                        t, f"to_{domain.value}", -1, None, line,
+                        detail="directory transition"))
+                return original(line, t)
+            return line_work
+
+        self._wrap(engine, "_to_swcc_line_work",
+                   lambda orig: wrap_line_work(Domain.SWCC, orig))
+        self._wrap(engine, "_to_hwcc_line_work",
+                   lambda orig: wrap_line_work(Domain.HWCC, orig))
+
+    # -- reporting -------------------------------------------------------------------
+    def events_for(self, line: int) -> List[TraceEvent]:
+        return [event for event in self.events if event.line == line]
+
+    def format(self, line: Optional[int] = None) -> str:
+        events = self.events if line is None else self.events_for(line)
+        chronological = sorted(events, key=lambda e: e.time)
+        lines = [str(event) for event in chronological]
+        if self.dropped:
+            lines.append(f"... {self.dropped} events dropped "
+                         f"(max_events={self.max_events})")
+        return "\n".join(lines)
+
+    def __len__(self) -> int:
+        return len(self.events)

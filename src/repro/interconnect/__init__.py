@@ -1,0 +1,5 @@
+"""On-die interconnect: cluster buses, combining trees, central crossbar."""
+
+from repro.interconnect.network import Network
+
+__all__ = ["Network"]

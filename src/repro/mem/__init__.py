@@ -1,0 +1,16 @@
+"""Memory-system substrate: addresses, caches, DRAM, and the shared L3."""
+
+from repro.mem.address import AddressMap, LINE_BYTES, WORDS_PER_LINE
+from repro.mem.cache import Cache, CacheLine
+from repro.mem.dram import DramModel
+from repro.mem.backing import BackingStore
+
+__all__ = [
+    "AddressMap",
+    "BackingStore",
+    "Cache",
+    "CacheLine",
+    "DramModel",
+    "LINE_BYTES",
+    "WORDS_PER_LINE",
+]

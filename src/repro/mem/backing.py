@@ -1,0 +1,86 @@
+"""Functional backing store (DRAM contents) for data-tracking runs.
+
+When :attr:`repro.config.MachineConfig.track_data` is enabled, every level
+of the hierarchy carries word values end to end and this store holds the
+globally visible copy. It is deliberately sparse (a dict keyed by word
+address) because workloads touch a tiny fraction of the 4 GB space.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.mem.address import WORD_SHIFT, WORDS_PER_LINE, line_base
+
+
+class BackingStore:
+    """Sparse word-addressable memory; unwritten words read as zero."""
+
+    __slots__ = ("_words",)
+
+    def __init__(self) -> None:
+        self._words: Dict[int, int] = {}
+
+    def read_word_addr(self, addr: int) -> int:
+        return self._words.get(addr >> WORD_SHIFT, 0)
+
+    def write_word_addr(self, addr: int, value: int) -> None:
+        self._words[addr >> WORD_SHIFT] = value
+
+    def read_line(self, line: int) -> List[int]:
+        """Return the eight word values of line number ``line``."""
+        base = line_base(line) >> WORD_SHIFT
+        words = self._words
+        return [words.get(base + i, 0) for i in range(WORDS_PER_LINE)]
+
+    def write_line(self, line: int, values: List[int], mask: int) -> None:
+        """Merge ``values`` into the line under per-word ``mask``."""
+        base = line_base(line) >> WORD_SHIFT
+        words = self._words
+        for i in range(WORDS_PER_LINE):
+            if mask & (1 << i):
+                words[base + i] = values[i]
+
+    def read_line_word(self, line: int, word: int) -> int:
+        return self._words.get((line_base(line) >> WORD_SHIFT) + word, 0)
+
+    def atomic_rmw(self, addr: int, func, operand: int) -> int:
+        """Apply ``func(old, operand)`` at ``addr``; return the old value."""
+        key = addr >> WORD_SHIFT
+        old = self._words.get(key, 0)
+        self._words[key] = func(old, operand) & 0xFFFFFFFF
+        return old
+
+    def __len__(self) -> int:
+        return len(self._words)
+
+
+class NullBackingStore:
+    """Data-free stand-in used when ``track_data`` is off.
+
+    Every method is a no-op returning ``None``/zeros, letting hot paths
+    call through unconditionally without branching on a mode flag.
+    """
+
+    __slots__ = ()
+
+    def read_word_addr(self, addr: int) -> int:
+        return 0
+
+    def write_word_addr(self, addr: int, value: int) -> None:
+        return None
+
+    def read_line(self, line: int) -> Optional[List[int]]:
+        return None
+
+    def write_line(self, line: int, values, mask: int) -> None:
+        return None
+
+    def read_line_word(self, line: int, word: int) -> int:
+        return 0
+
+    def atomic_rmw(self, addr: int, func, operand: int) -> int:
+        return 0
+
+    def __len__(self) -> int:
+        return 0

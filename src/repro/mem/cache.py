@@ -1,0 +1,168 @@
+"""Generic set-associative cache with per-word valid and dirty masks.
+
+Both the Rigel-style L2s and the banked L3 are built from this class. It
+models exactly the metadata the paper's protocols need:
+
+* per-word valid bits (SWcc write-allocate may validate only the written
+  words of a line, without fetching the rest);
+* per-word dirty bits (the L3 merges disjoint write sets from multiple
+  writers during SWcc => HWcc transitions);
+* one *incoherent* bit per line (set by Cohesion on replies for
+  software-managed data; such lines are dropped silently on clean
+  eviction and are immune to hardware probes).
+
+The cache is purely a state container: it never sends messages itself.
+Replacement decisions return the victim line so the caller (the cluster
+or L3 controller) can issue the protocol actions the victim requires.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterator, List, Optional
+
+from repro.mem.address import FULL_WORD_MASK, WORDS_PER_LINE
+
+
+class CacheLine:
+    """Tag-array entry for one resident line."""
+
+    __slots__ = ("line", "valid_mask", "dirty_mask", "incoherent", "lru", "data")
+
+    def __init__(self, line: int, valid_mask: int = FULL_WORD_MASK,
+                 dirty_mask: int = 0, incoherent: bool = False,
+                 data: Optional[List[int]] = None) -> None:
+        self.line = line
+        self.valid_mask = valid_mask
+        self.dirty_mask = dirty_mask
+        self.incoherent = incoherent
+        self.lru = 0
+        self.data = data
+
+    @property
+    def dirty(self) -> bool:
+        return self.dirty_mask != 0
+
+    @property
+    def fully_valid(self) -> bool:
+        return self.valid_mask == FULL_WORD_MASK
+
+    def write_word(self, word: int, value: Optional[int] = None) -> None:
+        """Mark ``word`` written (valid + dirty), storing ``value`` if tracked."""
+        bit = 1 << word
+        self.valid_mask |= bit
+        self.dirty_mask |= bit
+        if self.data is not None and value is not None:
+            self.data[word] = value
+
+    def read_word(self, word: int) -> Optional[int]:
+        if self.data is None:
+            return None
+        return self.data[word]
+
+    def clean(self) -> None:
+        self.dirty_mask = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"CacheLine({self.line:#x}, valid={self.valid_mask:#04x}, "
+                f"dirty={self.dirty_mask:#04x}, incoherent={self.incoherent})")
+
+
+class Cache:
+    """LRU set-associative cache keyed by line number."""
+
+    __slots__ = ("name", "n_sets", "assoc", "sets", "_tick",
+                 "hits", "misses", "evictions", "track_data")
+
+    def __init__(self, n_lines: int, assoc: int, name: str = "cache",
+                 track_data: bool = False) -> None:
+        if n_lines <= 0 or assoc <= 0 or n_lines % assoc:
+            raise ValueError(f"bad cache geometry: {n_lines} lines, {assoc}-way")
+        self.name = name
+        self.n_sets = n_lines // assoc
+        self.assoc = assoc
+        self.sets: List[Dict[int, CacheLine]] = [dict() for _ in range(self.n_sets)]
+        self._tick = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.track_data = track_data
+
+    # -- lookup ------------------------------------------------------------
+    def set_index(self, line: int) -> int:
+        return line % self.n_sets
+
+    def lookup(self, line: int) -> Optional[CacheLine]:
+        """Return the resident entry for ``line`` and refresh its LRU age."""
+        entry = self.sets[line % self.n_sets].get(line)
+        if entry is not None:
+            self._tick += 1
+            entry.lru = self._tick
+            self.hits += 1
+        else:
+            self.misses += 1
+        return entry
+
+    def peek(self, line: int) -> Optional[CacheLine]:
+        """Lookup without touching LRU state or hit/miss counters."""
+        return self.sets[line % self.n_sets].get(line)
+
+    # -- allocation ----------------------------------------------------------
+    def allocate(self, line: int, valid_mask: int = FULL_WORD_MASK,
+                 dirty_mask: int = 0, incoherent: bool = False
+                 ) -> "tuple[CacheLine, Optional[CacheLine]]":
+        """Insert ``line``, evicting an LRU victim from its set if full.
+
+        Returns ``(new_entry, victim)``; ``victim`` is ``None`` when no
+        eviction was needed. The caller owns any writeback/notification
+        the victim's state demands.
+        """
+        bucket = self.sets[line % self.n_sets]
+        existing = bucket.get(line)
+        if existing is not None:
+            existing.valid_mask |= valid_mask
+            existing.dirty_mask |= dirty_mask
+            existing.incoherent = incoherent
+            self._tick += 1
+            existing.lru = self._tick
+            return existing, None
+        victim = None
+        if len(bucket) >= self.assoc:
+            victim_line = min(bucket, key=lambda ln: bucket[ln].lru)
+            victim = bucket.pop(victim_line)
+            self.evictions += 1
+        data = [0] * WORDS_PER_LINE if self.track_data else None
+        entry = CacheLine(line, valid_mask, dirty_mask, incoherent, data)
+        self._tick += 1
+        entry.lru = self._tick
+        bucket[line] = entry
+        return entry, victim
+
+    # -- removal -------------------------------------------------------------
+    def remove(self, line: int) -> Optional[CacheLine]:
+        """Remove ``line`` if present, returning its entry."""
+        return self.sets[line % self.n_sets].pop(line, None)
+
+    def invalidate_where(self, predicate: Callable[[CacheLine], bool]
+                         ) -> List[CacheLine]:
+        """Remove and return every resident line satisfying ``predicate``."""
+        removed: List[CacheLine] = []
+        for bucket in self.sets:
+            doomed = [ln for ln, entry in bucket.items() if predicate(entry)]
+            for ln in doomed:
+                removed.append(bucket.pop(ln))
+        return removed
+
+    # -- introspection ---------------------------------------------------------
+    def __contains__(self, line: int) -> bool:
+        return line in self.sets[line % self.n_sets]
+
+    def __len__(self) -> int:
+        return sum(len(bucket) for bucket in self.sets)
+
+    def lines(self) -> Iterator[CacheLine]:
+        for bucket in self.sets:
+            yield from bucket.values()
+
+    @property
+    def capacity_lines(self) -> int:
+        return self.n_sets * self.assoc

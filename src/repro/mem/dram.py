@@ -1,0 +1,47 @@
+"""GDDR memory-channel timing model.
+
+The paper used a cycle-accurate GDDR5 model; the relevant behaviour for
+every reported result is aggregate bandwidth and per-channel queuing, so
+we model each of the eight channels as a :class:`~repro.timing.Resource`
+with a fixed access latency plus a bandwidth-derived occupancy per line
+transferred (see DESIGN.md, substitutions table).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.timing import ResourceGroup
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.config import MachineConfig
+
+
+class DramModel:
+    """Per-channel bandwidth/latency model."""
+
+    __slots__ = ("latency", "occupancy_per_line", "channels", "accesses")
+
+    def __init__(self, config: "MachineConfig") -> None:
+        self.latency = config.dram_latency
+        bytes_per_cycle = config.dram_bytes_per_cycle_per_channel
+        if bytes_per_cycle <= 0:
+            raise ValueError("channel bandwidth must be positive")
+        self.occupancy_per_line = config.line_bytes / bytes_per_cycle
+        self.channels = ResourceGroup(config.dram_channels)
+        self.accesses = [0] * config.dram_channels
+
+    def access(self, channel: int, now: float, lines: int = 1) -> float:
+        """Issue a ``lines``-line transfer on ``channel`` at time ``now``.
+
+        Returns the completion time: queueing delay behind earlier
+        transfers, plus the fixed access latency, plus transfer time.
+        """
+        occupancy = self.occupancy_per_line * lines
+        start = self.channels.acquire(channel, now, occupancy)
+        self.accesses[channel] += 1
+        return start + self.latency + occupancy
+
+    @property
+    def total_accesses(self) -> int:
+        return sum(self.accesses)

@@ -1,0 +1,28 @@
+"""Barrier-based task-queue runtime (the BSP programming model of §3.3).
+
+Submodules are imported lazily (PEP 562) because the memory system needs
+:mod:`repro.runtime.layout` while the executor needs the memory system;
+eager package imports would create a cycle.
+"""
+
+_EXPORTS = {
+    "AddressLayout": "repro.runtime.layout",
+    "BspExecutor": "repro.runtime.executor",
+    "Phase": "repro.runtime.program",
+    "Program": "repro.runtime.program",
+    "Runtime": "repro.runtime.system",
+    "Task": "repro.runtime.program",
+}
+
+__all__ = sorted(_EXPORTS)
+
+
+def __getattr__(name):
+    try:
+        module_name = _EXPORTS[name]
+    except KeyError:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}") from None
+    import importlib
+
+    module = importlib.import_module(module_name)
+    return getattr(module, name)

@@ -1,0 +1,228 @@
+"""Event-interleaved execution of a BSP program on the machine.
+
+Cores are interleaved by a min-heap on their local clocks: the earliest
+core executes a short slice of its operation stream atomically against
+the shared memory hierarchy, then re-enters the heap at its new clock.
+Shared-resource busy-until reservations (L2 ports, tree links, L3 banks,
+DRAM channels) provide queuing; this scheme reproduces the contention and
+serialisation effects the paper reports without per-cycle simulation.
+
+Per phase, each core loops: atomically dequeue a task (one atomic RMW on
+the queue head plus reads of the task descriptor -- this is the task
+scheduling overhead that dominates fine-grained kernels such as gjk),
+fetch the kernel's code through its L1I, touch its private stack frame,
+run the task's operations, eagerly flush the task's output lines (when
+software-managed), and finally -- when the queue is dry -- lazily
+invalidate the phase's input lines and arrive at the barrier with one
+atomic operation. The barrier releases every core at the latest arrival
+time plus a broadcast delay.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List, Set
+
+from repro.errors import SimulationError
+from repro.runtime.program import Phase, Program
+from repro.sim.stats import RunStats, collect_stats
+from repro.types import (OP_ATOMIC, OP_BARRIER, OP_COMPUTE, OP_IFETCH,
+                         OP_INV, OP_LOAD, OP_STORE, OP_WB)
+
+#: Cycles from last barrier arrival to global release (broadcast wake-up).
+BARRIER_RELEASE_COST = 32.0
+
+_STAGE_TASKS = 0
+_STAGE_DRAIN = 1
+_STAGE_WAITING = 2
+
+
+def _add(old: int, operand: int) -> int:
+    return old + operand
+
+
+class _CoreState:
+    __slots__ = ("ops", "ip", "inputs", "stage", "stack_cursor")
+
+    def __init__(self) -> None:
+        self.ops: List[tuple] = []
+        self.ip = 0
+        self.inputs: Set[int] = set()
+        self.stage = _STAGE_TASKS
+        self.stack_cursor = 0
+
+
+class BspExecutor:
+    """Runs one :class:`~repro.runtime.program.Program` to completion."""
+
+    def __init__(self, machine, program: Program, ops_per_slice: int = 8) -> None:
+        if ops_per_slice <= 0:
+            raise SimulationError("ops_per_slice must be positive")
+        self.machine = machine
+        self.program = program
+        self.ops_per_slice = ops_per_slice
+        self.tasks_executed = 0
+        self.ops_executed = 0
+        self.barriers = 0
+        self._check_loads = machine.config.track_data
+        #: (address, expected, observed) for loads that returned a value the
+        #: program's logical data flow forbids -- always empty on a correct
+        #: protocol implementation with a correctly synchronised program.
+        self.load_mismatches: List[tuple] = []
+        runtime = machine.runtime
+        self._queue_addr = runtime.queue_addr
+        self._barrier_addr = runtime.barrier_addr
+        self._desc_base = runtime.desc_base
+        self._desc_capacity = runtime.desc_capacity
+
+    # -- public -----------------------------------------------------------
+    def run(self) -> RunStats:
+        machine = self.machine
+        for phase in self.program.phases:
+            self._run_phase(phase)
+        end = max(machine.core_clocks) if machine.core_clocks else 0.0
+        stats = collect_stats(machine, end)
+        stats.tasks_executed = self.tasks_executed
+        stats.ops_executed = self.ops_executed
+        stats.barriers = self.barriers
+        stats.load_mismatches = list(self.load_mismatches)
+        return stats
+
+    # -- phase machinery ------------------------------------------------------
+    def _run_phase(self, phase: Phase) -> None:
+        machine = self.machine
+        n_cores = machine.config.n_cores
+        per_cluster = machine.config.cores_per_cluster
+        tasks = phase.tasks
+        head = 0
+        states = [_CoreState() for _ in range(n_cores)]
+        heap = [(machine.core_clocks[core], core) for core in range(n_cores)]
+        heapq.heapify(heap)
+        arrivals: List[float] = []
+
+        while heap:
+            now, core = heapq.heappop(heap)
+            state = states[core]
+            cluster = machine.clusters[core // per_cluster]
+            local = core % per_cluster
+
+            if state.ip >= len(state.ops):
+                if state.stage == _STAGE_DRAIN:
+                    state.stage = _STAGE_WAITING
+                    arrivals.append(now)
+                    continue
+                if head < len(tasks):
+                    task = tasks[head]
+                    now = self._dequeue(cluster, local, core, head, now)
+                    head += 1
+                    state.ops = self._task_ops(phase, task, core)
+                    state.ip = 0
+                    state.inputs.update(task.input_lines)
+                    self.tasks_executed += 1
+                else:
+                    state.ops = self._barrier_ops(state)
+                    state.ip = 0
+                    state.stage = _STAGE_DRAIN
+                heapq.heappush(heap, (now, core))
+                continue
+
+            now = self._execute_slice(cluster, local, core, state, now)
+            heapq.heappush(heap, (now, core))
+
+        if len(arrivals) != n_cores:
+            raise SimulationError(
+                f"phase {phase.name!r}: {len(arrivals)}/{n_cores} cores "
+                "reached the barrier")
+        release = max(arrivals) + BARRIER_RELEASE_COST
+        for core in range(n_cores):
+            machine.core_clocks[core] = release
+        self.barriers += 1
+        if phase.after is not None:
+            phase.after(machine)
+
+    def _dequeue(self, cluster, local: int, core: int, index: int,
+                 now: float) -> float:
+        """Atomic pop of the queue head plus a task-descriptor read."""
+        now, _old = cluster.atomic(local, self._queue_addr, _add, 1, now)
+        desc = self._desc_base + 8 * (index % self._desc_capacity)
+        now, _value = cluster.load(local, desc, now)
+        now, _value = cluster.load(local, desc + 4, now)
+        return now
+
+    def _task_ops(self, phase: Phase, task, core: int) -> List[tuple]:
+        """Assemble the full op stream for one task on one core."""
+        machine = self.machine
+        layout = machine.layout
+        ops: List[tuple] = []
+        for i in range(phase.code_lines):
+            ops.append((OP_IFETCH, phase.code_addr + 32 * i))
+        if task.stack_words:
+            base, size = layout.stack_region(core)
+            state = self._stack_cursors
+            cursor = state[core]
+            for i in range(task.stack_words):
+                addr = base + ((cursor + 4 * i) % size) & ~3
+                ops.append((OP_STORE, addr))
+                ops.append((OP_LOAD, addr))
+            state[core] = (cursor + 4 * task.stack_words) % size
+        ops.extend(task.ops)
+        for line in task.flush_lines:
+            ops.append((OP_WB, line << 5))
+        return ops
+
+    def _barrier_ops(self, state: _CoreState) -> List[tuple]:
+        """Lazy input invalidations followed by the barrier atomic."""
+        ops: List[tuple] = [(OP_INV, line << 5) for line in sorted(state.inputs)]
+        state.inputs.clear()
+        ops.append((OP_ATOMIC, self._barrier_addr))
+        return ops
+
+    # -- op dispatch -----------------------------------------------------------
+    def _execute_slice(self, cluster, local: int, core: int,
+                       state: _CoreState, now: float) -> float:
+        ops = state.ops
+        ip = state.ip
+        end = min(len(ops), ip + self.ops_per_slice)
+        executed = 0
+        while ip < end:
+            op = ops[ip]
+            kind = op[0]
+            if kind == OP_LOAD:
+                now, value = cluster.load(local, op[1], now)
+                if len(op) > 2 and self._check_loads and value != op[2]:
+                    if len(self.load_mismatches) < 100:
+                        self.load_mismatches.append((op[1], op[2], value))
+            elif kind == OP_STORE:
+                value = op[2] if len(op) > 2 else 0
+                now = cluster.store(local, op[1], value, now)
+            elif kind == OP_COMPUTE:
+                now += op[1]
+            elif kind == OP_ATOMIC:
+                operand = op[2] if len(op) > 2 else 1
+                now, _v = cluster.atomic(local, op[1], _add, operand, now)
+            elif kind == OP_IFETCH:
+                now = cluster.ifetch(local, op[1], now)
+            elif kind == OP_WB:
+                now = cluster.flush_line(local, op[1] >> 5, now)
+            elif kind == OP_INV:
+                now = cluster.invalidate_line(local, op[1] >> 5, now)
+            elif kind == OP_BARRIER:
+                raise SimulationError("explicit barrier ops are not allowed "
+                                      "inside tasks; phases imply barriers")
+            else:
+                raise SimulationError(f"unknown op kind {kind}")
+            ip += 1
+            executed += 1
+        state.ip = ip
+        self.ops_executed += executed
+        self.machine.core_clocks[core] = now
+        return now
+
+    # stack cursors are created lazily per executor (one slot per core)
+    @property
+    def _stack_cursors(self) -> List[int]:
+        cursors = getattr(self, "_stack_cursor_list", None)
+        if cursors is None:
+            cursors = [0] * self.machine.config.n_cores
+            self._stack_cursor_list = cursors
+        return cursors

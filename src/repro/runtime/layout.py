@@ -1,0 +1,86 @@
+"""The single 32-bit address-space layout used by the runtime.
+
+The paper assumes one application in a single 32-bit address space with
+physical == virtual (Section 3.5). The runtime establishes the coarse
+SWcc regions (code, per-core stacks, persistent immutable globals) from
+this layout at boot, exactly as it would from the ELF header, and
+reserves the 16 MB fine-grain region table in high memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.mem.address import ADDRESS_SPACE, LINE_BYTES, line_base
+from repro.types import SegmentClass
+
+FINE_TABLE_BYTES = 16 * 1024 * 1024  # 1 bit per 32-byte line of 4 GB
+
+
+@dataclass(frozen=True)
+class AddressLayout:
+    """Segment bases and sizes for one application."""
+
+    code_base: int = 0x0001_0000
+    code_size: int = 0x0004_0000            # 256 KB of kernel code
+    globals_base: int = 0x1000_0000
+    globals_size: int = 0x1000_0000         # immutable/constant data
+    coherent_heap_base: int = 0x2000_0000
+    coherent_heap_size: int = 0x2000_0000
+    incoherent_heap_base: int = 0x4000_0000
+    incoherent_heap_size: int = 0x4000_0000
+    stack_base: int = 0x8000_0000
+    stack_bytes_per_core: int = 4 * 1024    # fixed-size stacks (Section 3.5)
+    n_cores: int = 1024
+    fine_table_base: int = 0xFE00_0000
+
+    def __post_init__(self) -> None:
+        regions = [
+            (self.code_base, self.code_size),
+            (self.globals_base, self.globals_size),
+            (self.coherent_heap_base, self.coherent_heap_size),
+            (self.incoherent_heap_base, self.incoherent_heap_size),
+            (self.stack_base, self.stacks_size),
+            (self.fine_table_base, FINE_TABLE_BYTES),
+        ]
+        for base, size in regions:
+            if base % LINE_BYTES or size % LINE_BYTES:
+                raise ConfigError("segments must be line-aligned")
+            if base + size > ADDRESS_SPACE:
+                raise ConfigError(f"segment [{base:#x}, +{size:#x}) exceeds 32 bits")
+        ordered = sorted(regions)
+        for (b0, s0), (b1, _s1) in zip(ordered, ordered[1:]):
+            if b0 + s0 > b1:
+                raise ConfigError("address-space segments overlap")
+
+    # -- segment geometry ------------------------------------------------
+    @property
+    def stacks_size(self) -> int:
+        return self.stack_bytes_per_core * self.n_cores
+
+    def stack_region(self, core: int) -> "tuple[int, int]":
+        """(base, size) of ``core``'s fixed-size private stack."""
+        if not 0 <= core < self.n_cores:
+            raise ConfigError(f"core {core} out of range")
+        return self.stack_base + core * self.stack_bytes_per_core, self.stack_bytes_per_core
+
+    def stack_addr(self, core: int, offset: int = 0) -> int:
+        base, size = self.stack_region(core)
+        if not 0 <= offset < size:
+            raise ConfigError(f"stack offset {offset:#x} out of range")
+        return base + offset
+
+    # -- classification (Figure 9c breakdown) ------------------------------
+    def classify(self, addr: int) -> SegmentClass:
+        if self.code_base <= addr < self.code_base + self.code_size:
+            return SegmentClass.CODE
+        if self.stack_base <= addr < self.stack_base + self.stacks_size:
+            return SegmentClass.STACK
+        return SegmentClass.HEAP_GLOBAL
+
+    def classify_line(self, line: int) -> SegmentClass:
+        return self.classify(line_base(line))
+
+    def in_fine_table(self, addr: int) -> bool:
+        return self.fine_table_base <= addr < self.fine_table_base + FINE_TABLE_BYTES

@@ -1,0 +1,83 @@
+"""Program structures for the barrier-synchronised task-queue model.
+
+The benchmarks of Section 4.1 are written in a task-based, barrier-
+synchronised work-queue style (the bulk-synchronous pattern of the Task
+Centric Memory Model): a :class:`Program` is a list of :class:`Phase`
+objects separated by global barriers, and each phase is a bag of
+:class:`Task` objects that idle cores pull from a shared queue with
+atomic operations.
+
+A task's memory behaviour has three parts:
+
+* ``ops`` -- the explicit operation stream (loads/stores/atomics/compute);
+* ``flush_lines`` -- output lines to write back *eagerly* at task end via
+  software WB instructions (only populated when the data is software-
+  managed under the mode the program was built for);
+* ``input_lines`` -- phase-variant input lines to invalidate *lazily* at
+  the barrier (likewise mode-dependent).
+
+The executor additionally injects instruction fetches for the phase's
+kernel code and private-stack activity for the executing core, neither
+of which a workload can know at build time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+Op = Tuple[int, ...]
+
+
+@dataclass
+class Task:
+    """One unit of work pulled from the shared queue."""
+
+    ops: List[Op]
+    flush_lines: Sequence[int] = ()
+    input_lines: Sequence[int] = ()
+    stack_words: int = 8
+    """Private-stack words the executor touches as the task's frame."""
+
+    @property
+    def op_count(self) -> int:
+        return len(self.ops)
+
+
+@dataclass
+class Phase:
+    """A bag of tasks between two global barriers."""
+
+    name: str
+    tasks: List[Task]
+    code_addr: int = 0
+    code_lines: int = 4
+    """Kernel-code footprint fetched (once per cold L1I) by each core."""
+    after: Optional[Callable[[object], None]] = None
+    """Host action run (on core 0) after this phase's barrier releases --
+    e.g. a runtime step that re-maps coherence domains between phases."""
+
+    @property
+    def total_ops(self) -> int:
+        return sum(task.op_count for task in self.tasks)
+
+
+@dataclass
+class Program:
+    """A complete benchmark run: phases plus expected final values."""
+
+    name: str
+    phases: List[Phase]
+    expected: Dict[int, int] = field(default_factory=dict)
+    """word address -> expected final value; pass to
+    :meth:`repro.sim.machine.Machine.verify_expected` after a
+    ``track_data`` run to audit memory against the program's logical
+    data flow."""
+
+    @property
+    def total_tasks(self) -> int:
+        return sum(len(phase.tasks) for phase in self.phases)
+
+    @property
+    def total_ops(self) -> int:
+        return sum(phase.total_ops for phase in self.phases)

@@ -1,0 +1,7 @@
+"""Simulation engine: clusters, cores, the machine builder, and statistics."""
+
+from repro.sim.cluster import Cluster
+from repro.sim.machine import Machine
+from repro.sim.stats import RunStats
+
+__all__ = ["Cluster", "Machine", "RunStats"]

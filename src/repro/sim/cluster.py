@@ -1,0 +1,362 @@
+"""Cluster cache controller: eight cores sharing a unified L2.
+
+This is where the L2-side halves of both protocols live (Figure 6):
+
+**SWcc lines** (incoherent bit set): stores write-allocate locally with
+per-word valid/dirty bits and never wait on -- or notify -- the
+directory; clean lines are dropped silently on eviction or software
+invalidation; dirty data reaches the globally visible L3 only through
+explicit flush (WB) instructions or dirty evictions.
+
+**HWcc lines**: loads/stores miss to the directory; a store to a shared
+line issues an upgrade; clean evictions send read releases (no silent
+evictions, Section 2.1); dirty evictions write back and release
+ownership; directory probes can invalidate or downgrade lines at any
+time.
+
+Under the pure-SWcc policy every line is treated as incoherent, so a
+store miss allocates in the L2 with no message at all; under HWcc and
+Cohesion a store miss must ask the L3, whose reply's incoherent bit
+tells the L2 which regime the line is under from then on.
+
+The tiny per-core L1s are write-through/no-write-allocate, so they never
+hold dirty data and are bulk-invalidated whenever their L2 line goes
+away for any reason.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import List, Optional, Tuple
+
+from repro.config import MachineConfig, Policy
+from repro.core.cohesion import MemorySystem
+from repro.errors import ProtocolError
+from repro.mem.address import FULL_WORD_MASK
+from repro.mem.cache import Cache, CacheLine
+from repro.timing import Resource
+from repro.types import MessageType, PolicyKind
+
+
+class Cluster:
+    """One eight-core cluster and its shared L2."""
+
+    # "__dict__" is included deliberately: diagnostic tools (the
+    # LineTracer) wrap methods on live cluster instances.
+    __slots__ = ("id", "memsys", "counters", "l2", "l1d", "l1i", "port",
+                 "bus_latency", "l2_latency", "port_occ", "swcc_all",
+                 "uses_dir", "n_cores", "track_data", "_posted",
+                 "write_buffer_depth", "__dict__")
+
+
+    def __init__(self, cluster_id: int, config: MachineConfig, policy: Policy,
+                 memsys: MemorySystem) -> None:
+        self.id = cluster_id
+        self.memsys = memsys
+        self.counters = memsys.counters
+        self.track_data = config.track_data
+        self.l2 = Cache(config.l2_lines, config.l2_assoc,
+                        name=f"l2[{cluster_id}]", track_data=config.track_data)
+        n = config.cores_per_cluster
+        self.n_cores = n
+        l1d_lines = config.l1d_bytes // config.line_bytes
+        l1i_lines = config.l1i_bytes // config.line_bytes
+        self.l1d = [Cache(l1d_lines, config.l1d_assoc, name=f"l1d[{cluster_id}.{i}]",
+                          track_data=config.track_data) for i in range(n)]
+        self.l1i = [Cache(l1i_lines, config.l1i_assoc, name=f"l1i[{cluster_id}.{i}]")
+                    for i in range(n)]
+        self.port = Resource()
+        self.bus_latency = config.cluster_bus_latency
+        self.l2_latency = config.l2_latency
+        self.port_occ = 1.0 / config.l2_ports
+        self.swcc_all = policy.kind is PolicyKind.SWCC
+        self.uses_dir = policy.uses_directory
+        # Write-buffer: posted operations (store misses, upgrades,
+        # flush/eviction writebacks, read releases) in flight. When
+        # full, the issuing core stalls until the oldest completes --
+        # the back-pressure that keeps burst traffic from racing
+        # unboundedly ahead of the network.
+        self.write_buffer_depth = config.write_buffer_depth
+        self._posted: deque = deque()
+
+    # -- internal helpers ---------------------------------------------------
+    def _l2_start(self, now: float) -> float:
+        """Bus transfer plus one serialised L2 tag/data access."""
+        start = self.port.acquire(now, self.port_occ)
+        return start + self.bus_latency + self.l2_latency
+
+    def _posted_slot(self, now: float) -> float:
+        """Reserve a write-buffer entry, stalling if the buffer is full."""
+        queue = self._posted
+        while queue and queue[0] <= now:
+            queue.popleft()
+        if len(queue) >= self.write_buffer_depth:
+            now = queue.popleft()
+        return now
+
+    def _posted_done(self, completion: float) -> None:
+        self._posted.append(completion)
+
+    def _drop_l1(self, line: int) -> None:
+        for cache in self.l1d:
+            cache.remove(line)
+        for cache in self.l1i:
+            cache.remove(line)
+
+    def _fill_l1(self, l1: Cache, entry: CacheLine) -> None:
+        """Install an L2 line's current contents into a core's L1."""
+        copy, _victim = l1.allocate(entry.line, FULL_WORD_MASK)  # L1 victims silent
+        if copy.data is not None and entry.data is not None:
+            copy.data[:] = entry.data
+
+    def _handle_victim(self, victim: CacheLine, now: float) -> float:
+        """Protocol actions owed by an evicted L2 line.
+
+        Returns the (possibly stalled) time the eviction message entered
+        the write buffer; silent drops return ``now`` unchanged.
+        """
+        self._drop_l1(victim.line)
+        if victim.incoherent:
+            if victim.dirty_mask:  # push modified words; clean drops are silent
+                now = self._posted_slot(now)
+                self._posted_done(self.memsys.writeback(
+                    self.id, victim.line, victim.dirty_mask, victim.data, now,
+                    MessageType.CACHE_EVICTION, incoherent=True))
+            return now
+        now = self._posted_slot(now)
+        if victim.dirty_mask:
+            self._posted_done(self.memsys.writeback(
+                self.id, victim.line, victim.dirty_mask, victim.data, now,
+                MessageType.CACHE_EVICTION, incoherent=False))
+        else:
+            self._posted_done(self.memsys.read_release(self.id, victim.line, now))
+        return now
+
+    def _install(self, line: int, reply, dirty_mask: int = 0,
+                 keep: Optional[CacheLine] = None) -> CacheLine:
+        """Install a fetched line, merging any locally dirty words."""
+        local_dirty = 0
+        local_values: Optional[List[int]] = None
+        if keep is not None:
+            local_dirty = keep.dirty_mask
+            if keep.data is not None:
+                local_values = list(keep.data)
+        entry, victim = self.l2.allocate(line, FULL_WORD_MASK,
+                                         dirty_mask=dirty_mask | local_dirty,
+                                         incoherent=reply.incoherent)
+        if victim is not None:
+            self._handle_victim(victim, reply.time)
+        if entry.data is not None:
+            if reply.data is not None:
+                entry.data[:] = reply.data
+            if local_values is not None:
+                for word in range(len(entry.data)):
+                    if local_dirty & (1 << word):
+                        entry.data[word] = local_values[word]
+        return entry
+
+    # == core-visible operations =============================================
+
+    def load(self, core: int, addr: int, now: float) -> Tuple[float, int]:
+        """Load one word; returns (finish time, value or 0)."""
+        line = addr >> 5
+        word = (addr >> 2) & 7
+        bit = 1 << word
+        l1 = self.l1d[core]
+        e1 = l1.lookup(line)
+        if e1 is not None and e1.valid_mask & bit:
+            value = e1.data[word] if e1.data is not None else 0
+            return now + 1, value
+        t = self._l2_start(now)
+        entry = self.l2.lookup(line)
+        if entry is not None and entry.valid_mask & bit:
+            self._fill_l1(l1, entry)
+            value = entry.data[word] if entry.data is not None else 0
+            return t, value
+        if entry is not None and not entry.incoherent:
+            raise ProtocolError(f"partially valid coherent line {line:#x}")
+        reply = self.memsys.read_line(self.id, line, t)
+        entry = self._install(line, reply, keep=entry)
+        self._fill_l1(l1, entry)
+        value = entry.data[word] if entry.data is not None else 0
+        return reply.time, value
+
+    def store(self, core: int, addr: int, value: int, now: float) -> float:
+        """Store one word; returns the finish time at the core."""
+        line = addr >> 5
+        word = (addr >> 2) & 7
+        l1 = self.l1d[core]
+        e1 = l1.peek(line)
+        if e1 is not None and e1.data is not None:
+            e1.data[word] = value  # write-through keeps the L1 copy fresh
+        # Sibling cores' L1 copies go stale: the cluster bus invalidates
+        # them (write-through L1s snoop the shared L2's write lane).
+        for sibling in range(self.n_cores):
+            if sibling != core:
+                self.l1d[sibling].remove(line)
+        t = self._l2_start(now)
+        entry = self.l2.lookup(line)
+        if entry is not None:
+            if entry.incoherent or entry.dirty_mask:
+                # SWcc line, or an already-modified (M) coherent line.
+                entry.write_word(word, value)
+                return t
+            # S -> M upgrade. The store is posted (retired from a store
+            # buffer): the core pays only the issue cost while the
+            # directory's invalidations run in the background, holding
+            # their network/L2/directory resources.
+            t = self._posted_slot(t)
+            self._posted_done(self.memsys.upgrade_request(self.id, line, t))
+            entry.write_word(word, value)
+            return t
+        if self.swcc_all:
+            # Write-allocate without any directory interaction: only the
+            # written word becomes valid (per-word valid/dirty bits).
+            bit = 1 << word
+            entry, victim = self.l2.allocate(line, valid_mask=bit,
+                                             dirty_mask=bit, incoherent=True)
+            if victim is not None:
+                self._handle_victim(victim, t)
+            entry.write_word(word, value)
+            return t
+        # Posted write miss: the WrReq round trip reserves resources but
+        # only stalls the core when the write buffer is full.
+        t = self._posted_slot(t)
+        reply = self.memsys.write_line_request(self.id, line, t)
+        self._posted_done(reply.time)
+        entry = self._install(line, reply)
+        entry.write_word(word, value)
+        return t
+
+    def ifetch(self, core: int, addr: int, now: float) -> float:
+        """Instruction fetch through the core's L1I."""
+        line = addr >> 5
+        l1 = self.l1i[core]
+        if l1.lookup(line) is not None:
+            return now + 1
+        t = self._l2_start(now)
+        entry = self.l2.lookup(line)
+        if entry is None:
+            reply = self.memsys.read_line(self.id, line, t, instruction=True)
+            entry = self._install(line, reply)
+            t = reply.time
+        l1.allocate(line, FULL_WORD_MASK)
+        return t
+
+    def atomic(self, core: int, addr: int, func, operand: int,
+               now: float) -> Tuple[float, int]:
+        """Uncached atomic RMW: bypasses the L1s and L2 to the L3."""
+        return self.memsys.atomic(self.id, addr, func, operand,
+                                  now + self.bus_latency)
+
+    def flush_line(self, core: int, line: int, now: float) -> float:
+        """Software writeback (WB) instruction for one line.
+
+        Pushes any dirty words to the L3 and cleans the local copy; the
+        writeback is posted, so the core only pays the issue cost. A
+        flush whose line was already evicted is wasted (Figure 3).
+        """
+        self.counters.wb_issued += 1
+        t = self._l2_start(now)
+        entry = self.l2.peek(line)
+        if entry is None:
+            return t
+        self.counters.wb_on_valid += 1
+        if entry.dirty_mask:
+            t = self._posted_slot(t)
+            self._posted_done(self.memsys.writeback(
+                self.id, line, entry.dirty_mask, entry.data, t,
+                MessageType.SOFTWARE_FLUSH, incoherent=entry.incoherent,
+                releases_ownership=False))
+            entry.clean()
+        return t
+
+    def invalidate_line(self, core: int, line: int, now: float) -> float:
+        """Software invalidate (INV) instruction for one line.
+
+        Invalidation targets *read* data: clean SWcc lines drop locally
+        with no message. Locally modified words survive (only the clean
+        words of a partially dirty line are invalidated) -- one core's
+        lazy barrier invalidations must not discard a sibling core's
+        not-yet-flushed output sharing the same L2 line. If software
+        targets a hardware-coherent line the L2 behaves like an eviction
+        so the directory's sharer state stays exact.
+        """
+        self.counters.inv_issued += 1
+        t = self._l2_start(now)
+        entry = self.l2.peek(line)
+        if entry is None:
+            return t
+        self.counters.inv_on_valid += 1
+        if entry.incoherent and entry.dirty_mask:
+            # Keep the modified words; drop the (possibly stale) rest.
+            entry.valid_mask &= entry.dirty_mask
+            self._drop_l1(line)
+            return t
+        self.l2.remove(line)
+        self._drop_l1(line)
+        if not entry.incoherent and self.uses_dir:
+            t = self._posted_slot(t)
+            if entry.dirty_mask:
+                self._posted_done(self.memsys.writeback(
+                    self.id, line, entry.dirty_mask, entry.data, t,
+                    MessageType.CACHE_EVICTION, incoherent=False))
+            else:
+                self._posted_done(self.memsys.read_release(self.id, line, t))
+        return t
+
+    # == directory-probe interface (called by the memory system) =================
+
+    def peek_line(self, line: int) -> Optional[CacheLine]:
+        """Zero-cost ground-truth presence check (simulator fast path)."""
+        return self.l2.peek(line)
+
+    def probe_invalidate(self, line: int, now: float
+                         ) -> Tuple[bool, int, Optional[List[int]], float]:
+        """Invalidate ``line``; returns (present, dirty_mask, values, done)."""
+        t = self.port.acquire(now, self.port_occ) + self.l2_latency
+        entry = self.l2.remove(line)
+        self._drop_l1(line)
+        if entry is None:
+            return False, 0, None, t
+        values = list(entry.data) if entry.data is not None else None
+        return True, entry.dirty_mask, values, t
+
+    def probe_downgrade(self, line: int, now: float
+                        ) -> Tuple[int, Optional[List[int]], float]:
+        """M -> S downgrade: surrender dirty words, keep a clean copy."""
+        t = self.port.acquire(now, self.port_occ) + self.l2_latency
+        entry = self.l2.peek(line)
+        if entry is None or entry.incoherent:
+            raise ProtocolError(
+                f"downgrade probe for line {line:#x} not owned by cluster {self.id}")
+        mask = entry.dirty_mask
+        values = list(entry.data) if entry.data is not None else None
+        entry.clean()
+        return mask, values, t
+
+    def probe_clean_query(self, line: int, now: float
+                          ) -> Tuple[str, int, Optional[List[int]], float]:
+        """SWcc => HWcc broadcast clean request (Section 3.6).
+
+        A clean holder clears its incoherent bit (the line becomes
+        probeable) and acks; a dirty holder reports its dirty words; an
+        absent line nacks.
+        """
+        t = self.port.acquire(now, self.port_occ) + self.l2_latency
+        entry = self.l2.peek(line)
+        if entry is None:
+            return "absent", 0, None, t
+        if entry.dirty_mask:
+            values = list(entry.data) if entry.data is not None else None
+            return "dirty", entry.dirty_mask, values, t
+        entry.incoherent = False
+        return "clean", 0, None, t
+
+    def probe_make_coherent(self, line: int) -> None:
+        """Upgrade a dirty SWcc line in place to hardware-owned (M)."""
+        entry = self.l2.peek(line)
+        if entry is None:
+            raise ProtocolError(
+                f"ownership upgrade for absent line {line:#x} in cluster {self.id}")
+        entry.incoherent = False

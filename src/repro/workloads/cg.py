@@ -1,0 +1,87 @@
+"""cg -- conjugate-gradient linear solver (sparse mat-vec + reductions).
+
+Each iteration runs two barrier-separated phases over an immutable CSR
+matrix: a sparse mat-vec (q = A.p) whose random column gathers read the
+shared direction vector p, and a combined dot-product/update phase that
+reads p/q/r, rewrites x/r/p for the next iteration, and reduces partial
+dot products through a pair of shared scalar cells. The vectors are
+rewritten every iteration, so under software management they need both
+eager output flushes and lazy barrier invalidations; the reduction cells
+are irregularly shared and use atomics (kept hardware-coherent under
+Cohesion).
+"""
+
+from __future__ import annotations
+
+from repro.runtime.program import Program
+from repro.workloads.base import Workload
+
+_ROWS_PER_TASK = 4
+_NNZ = 4
+
+
+class ConjugateGradient(Workload):
+    """Two CG iterations over a random sparse matrix."""
+
+    name = "cg"
+    code_lines = 8
+    iterations = 2
+
+    def _build(self) -> Program:
+        n_rows = 4 * _ROWS_PER_TASK * self.scaled(self.n_cores, minimum=8)
+        rng = self.rng
+        cols = [[rng.randrange(n_rows) for _ in range(_NNZ)]
+                for _row in range(n_rows)]
+
+        # The matrix values are ported to the SWcc globals; the column
+        # indices are left on the coherent heap (a typical partial port:
+        # developers convert the highest-traffic structures first).
+        vals = self.alloc("vals", n_rows * _NNZ * 4, "immutable",
+                          init=lambda w: (w * 97 + 11) & 0xFFFF)
+        cidx = self.alloc("cols", n_rows * _NNZ * 4, "hw",
+                          init=lambda w: cols[w // _NNZ][w % _NNZ])
+        vec_p = self.alloc("p", n_rows * 4, "sw", inv_reads=True,
+                           inv_writes=True, init=lambda w: (w + 1) & 0xFFFF)
+        vec_q = self.alloc("q", n_rows * 4, "sw", inv_reads=True, inv_writes=True)
+        vec_x = self.alloc("x", n_rows * 4, "sw", inv_reads=True, inv_writes=True)
+        vec_r = self.alloc("r", n_rows * 4, "sw", inv_reads=True, inv_writes=True,
+                           init=lambda w: (w * 3 + 7) & 0xFFFF)
+        scalars = self.alloc("scalars", 64, "hw")
+
+        phases = []
+        for it in range(self.iterations):
+            # Phase 1: q = A . p  (CSR row strips, random gathers into p).
+            self.set_phase_salt(10 * it + 1)
+            matvec_tasks = []
+            for first in range(0, n_rows, _ROWS_PER_TASK):
+                sk = self.sketch()
+                nz0 = first * _NNZ
+                sk.gather(vals, range(nz0, nz0 + _ROWS_PER_TASK * _NNZ))
+                sk.gather(cidx, range(nz0, nz0 + _ROWS_PER_TASK * _NNZ))
+                gathers = [cols[r][j]
+                           for r in range(first, first + _ROWS_PER_TASK)
+                           for j in range(_NNZ)]
+                sk.gather(vec_p, gathers)
+                sk.compute(_ROWS_PER_TASK * _NNZ * 2)
+                sk.write_words(vec_q, range(first, first + _ROWS_PER_TASK))
+                matvec_tasks.append(sk.done())
+            phases.append(self.phase(f"matvec{it}", matvec_tasks))
+
+            # Phase 2: alpha/beta dots + x, r, p updates.
+            self.set_phase_salt(10 * it + 2)
+            update_tasks = []
+            for first in range(0, n_rows, _ROWS_PER_TASK):
+                words = range(first, first + _ROWS_PER_TASK)
+                sk = self.sketch()
+                sk.gather(vec_p, words)
+                sk.gather(vec_q, words)
+                sk.gather(vec_r, words)
+                sk.compute(_ROWS_PER_TASK * 4)
+                sk.write_words(vec_x, words)
+                sk.write_words(vec_r, words)
+                sk.write_words(vec_p, words)
+                sk.atomic(scalars.word_addr(0), operand=1 + first % 5)
+                sk.atomic(scalars.word_addr(1), operand=1 + first % 3)
+                update_tasks.append(sk.done())
+            phases.append(self.phase(f"update{it}", update_tasks))
+        return self.program(phases)

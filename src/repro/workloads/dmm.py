@@ -1,0 +1,79 @@
+"""dmm -- blocked dense matrix multiply.
+
+C = A x B with 8x8 output blocks, one task per block. A and B are
+immutable inputs (globals segment: coarse-grain SWcc under Cohesion);
+each task streams an 8-row panel of A and an 8-column panel of B --
+panels are *read-shared* across every task in the same block row/column,
+which is what populates the directory with widely shared entries under
+HWcc -- and writes its private C block, eagerly flushed at task end.
+
+The values are real: C is computed with numpy at build time (exact
+integer arithmetic) and every store carries the true product entry, so a
+``track_data`` run verifies the full read/compute/flush path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.runtime.program import Program
+from repro.workloads.base import Workload
+
+_BLOCK = 8
+
+
+class DenseMatrixMultiply(Workload):
+    """Dense C = A x B over 8x8 blocks."""
+
+    name = "dmm"
+    code_lines = 8
+
+    def _build(self) -> Program:
+        # One task per 8x8 block of C; size N so that tasks ~ 6x cores,
+        # making the A/B panel stream per cluster far larger than the L2.
+        blocks = max(2, int(round((6.0 * self.n_cores * self.scale) ** 0.5)))
+        n = blocks * _BLOCK
+        rng = np.random.default_rng(self.seed)
+        a = rng.integers(0, 251, size=(n, n), dtype=np.int64)
+        b = rng.integers(0, 251, size=(n, n), dtype=np.int64)
+        c = (a @ b) & 0xFFFFFFFF
+
+        # A is fully ported to the SWcc world (immutable globals); B is a
+        # typical partial-porting choice -- its strided column panels are
+        # left on the coherent heap, so under Cohesion the hardware keeps
+        # tracking that read-shared structure (Figure 9c's residual
+        # heap/global directory entries).
+        buf_a = self.alloc("A", n * n * 4, "immutable",
+                           init=lambda w: int(a.flat[w]))
+        buf_b = self.alloc("B", n * n * 4, "hw",
+                           init=lambda w: int(b.flat[w]))
+        buf_c = self.alloc("C", n * n * 4, "sw")
+
+        words_per_row = n               # 4-byte words
+        lines_per_row = n // 8
+        tasks = []
+        self.set_phase_salt(1)
+        for bi in range(blocks):
+            for bj in range(blocks):
+                sk = self.sketch()
+                # A panel: 8 full rows (read-shared along the block row).
+                row0 = bi * _BLOCK
+                a_lines = []
+                for r in range(row0, row0 + _BLOCK):
+                    base = buf_a.base_line + r * lines_per_row
+                    a_lines.extend(range(base, base + lines_per_row))
+                sk.read(buf_a, a_lines, words_per_line=1)
+                # B panel: the one line per row holding columns
+                # [8*bj, 8*bj+8) -- 8 words x 4 B = exactly one line.
+                b_lines = [buf_b.base_line + r * lines_per_row + bj
+                           for r in range(n)]
+                sk.read(buf_b, b_lines, words_per_line=1)
+                sk.compute(_BLOCK * _BLOCK * n // 4)
+                # C block: one line per row, all 8 words, true values.
+                for r in range(row0, row0 + _BLOCK):
+                    line = buf_c.base_line + r * lines_per_row + bj
+                    sk.write(buf_c, [line], words_per_line=8,
+                             value_fn=lambda addr, _r=r: int(
+                                 c[_r, (addr - buf_c.addr) // 4 - _r * words_per_row]))
+                tasks.append(sk.done())
+        return self.program([self.phase("multiply", tasks)])

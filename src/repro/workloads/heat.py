@@ -1,0 +1,80 @@
+"""heat -- 2-D Jacobi stencil (the paper's "2D stencil").
+
+Double-buffered sweeps separated by barriers: each task owns one
+interior row, reads it plus its two neighbour rows from the source
+buffer (the neighbour rows are the halo read-sharing between adjacent
+tasks), and writes the destination row. Both buffers live on the
+incoherent heap: under SWcc/Cohesion each task eagerly flushes its
+output row and the barrier lazily invalidates every source line read --
+including lines the core itself wrote in the previous sweep, since
+another task may rewrite them next sweep.
+
+Values are real: the integer Jacobi recurrence is evaluated with numpy
+at build time and stores carry the true per-sweep values, so checked
+loads prove each sweep observed the previous sweep's data.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.runtime.program import Program
+from repro.workloads.base import Workload
+
+_COLS = 256  # words per row -> 1 KB -> 32 lines per row
+
+
+class Heat2D(Workload):
+    """Double-buffered 2-D Jacobi over integer temperatures."""
+
+    name = "heat"
+    code_lines = 6
+    sweeps = 2
+    #: rows per core per sweep; sized so each cluster's per-phase footprint
+    #: (rows x 32 lines x 2 buffers) far exceeds its 2048-line L2, which is
+    #: what produces HWcc's read-release/refetch traffic and SWcc's wasted
+    #: coherence instructions (Figures 2 and 3).
+    rows_per_core = 6
+
+    def _build(self) -> Program:
+        rows = self.scaled(self.rows_per_core * self.n_cores, minimum=6) + 2
+        grid = np.zeros((self.sweeps + 1, rows, _COLS), dtype=np.int64)
+        rng = np.random.default_rng(self.seed)
+        grid[0] = rng.integers(0, 1 << 20, size=(rows, _COLS))
+        for s in range(self.sweeps):
+            grid[s + 1] = grid[s]
+            grid[s + 1, 1:-1, 1:-1] = (
+                grid[s, :-2, 1:-1] + grid[s, 2:, 1:-1]
+                + grid[s, 1:-1, :-2] + grid[s, 1:-1, 2:]) // 4
+
+        size = rows * _COLS * 4
+        init0 = grid[0]
+        buffers = [
+            self.alloc("grid0", size, "sw", inv_reads=True, inv_writes=True,
+                       init=lambda w: int(init0.flat[w])),
+            self.alloc("grid1", size, "sw", inv_reads=True, inv_writes=True),
+        ]
+        lines_per_row = _COLS // 8
+
+        def row_lines(buf, row):
+            base = buf.base_line + row * lines_per_row
+            return range(base, base + lines_per_row)
+
+        phases = []
+        for sweep in range(self.sweeps):
+            src = buffers[sweep % 2]
+            dst = buffers[(sweep + 1) % 2]
+            result = grid[sweep + 1]
+            self.set_phase_salt(sweep + 1)
+            tasks = []
+            for row in range(1, rows - 1):
+                sk = self.sketch()
+                for r in (row - 1, row, row + 1):
+                    sk.read(src, row_lines(src, r), words_per_line=1)
+                sk.compute(_COLS // 2)
+                sk.write(dst, row_lines(dst, row), words_per_line=1,
+                         value_fn=lambda addr, _row=row: int(
+                             result[_row, (addr - dst.addr) // 4 - _row * _COLS]))
+                tasks.append(sk.done())
+            phases.append(self.phase(f"sweep{sweep}", tasks))
+        return self.program(phases)

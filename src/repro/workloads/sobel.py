@@ -1,0 +1,67 @@
+"""sobel -- edge detection over an immutable input image.
+
+Two barrier-separated phases: a gradient pass reading a two-row strip
+plus one halo row on each side from the immutable image (coarse-region
+SWcc under Cohesion, zero table cost) and writing a private strip of the
+gradient buffer, then a threshold pass reading the gradient and writing
+the binary edge map. The gradient is written once and read in the next
+phase only, so it needs eager flushes but no barrier invalidations --
+no consumer can hold a stale copy.
+"""
+
+from __future__ import annotations
+
+from repro.runtime.program import Program
+from repro.workloads.base import Workload
+
+_WIDTH_WORDS = 128  # 512 B -> 16 lines per image row
+
+
+class SobelEdgeDetect(Workload):
+    """Gradient + threshold over a synthetic image."""
+
+    name = "sobel"
+    code_lines = 5
+    #: image rows per core; the image is streamed once, so the cluster's
+    #: footprint (rows x 16 lines x ~2.5 buffers) dwarfs the L2 and the
+    #: clean input lines get silently dropped (SWcc) or read-released (HWcc).
+    rows_per_core = 8
+
+    def _build(self) -> Program:
+        rows = self.scaled(self.rows_per_core * self.n_cores, minimum=8) + 2
+        size = rows * _WIDTH_WORDS * 4
+        image = self.alloc("image", size, "immutable",
+                           init=lambda w: (w * 131 + 17) % 255)
+        grad = self.alloc("grad", size, "sw")
+        edges = self.alloc("edges", size, "sw")
+        lines_per_row = _WIDTH_WORDS // 8
+
+        def row_lines(buf, row, count=1):
+            base = buf.base_line + row * lines_per_row
+            return range(base, base + count * lines_per_row)
+
+        # Phase 1: gradient, two rows per task with one halo row each side.
+        self.set_phase_salt(1)
+        grad_tasks = []
+        for row in range(1, rows - 1, 2):
+            sk = self.sketch()
+            sk.read(image, row_lines(image, row - 1, count=4), words_per_line=1)
+            sk.compute(_WIDTH_WORDS)
+            sk.write(grad, row_lines(grad, row, count=2), words_per_line=1)
+            grad_tasks.append(sk.done())
+
+        # Phase 2: threshold, four rows per task, no halo.
+        self.set_phase_salt(2)
+        edge_tasks = []
+        for row in range(1, rows - 1, 4):
+            count = min(4, rows - 1 - row)
+            sk = self.sketch()
+            sk.read(grad, row_lines(grad, row, count=count), words_per_line=1)
+            sk.compute(_WIDTH_WORDS // 2)
+            sk.write(edges, row_lines(edges, row, count=count), words_per_line=1)
+            edge_tasks.append(sk.done())
+
+        return self.program([
+            self.phase("gradient", grad_tasks),
+            self.phase("threshold", edge_tasks),
+        ])

@@ -1,0 +1,58 @@
+"""stencil -- 3-D 7-point Jacobi (the paper's "3D stencil").
+
+Double-buffered sweeps over a 3-D grid, one interior z-plane per task.
+Each task reads its plane plus the two face-neighbour planes (the halo
+read-sharing) and writes its plane in the destination buffer. Like
+heat, both buffers alternate roles every sweep, so under software
+management every source line read *and* every destination line written
+must be invalidated at the barrier in addition to the eager output
+flushes -- the combination that makes the stencil kernels the heaviest
+issuers of software coherence instructions (Figure 3).
+"""
+
+from __future__ import annotations
+
+from repro.runtime.program import Program
+from repro.workloads.base import Workload
+
+_PLANE_LINES = 64  # 2 KB per z-plane (16 x 32 words)
+
+
+class Stencil3D(Workload):
+    """Double-buffered 7-point stencil with per-plane tasks."""
+
+    name = "stencil"
+    code_lines = 7
+    sweeps = 2
+    #: interior z-planes per core per sweep; sized so per-cluster phase
+    #: footprints exceed the L2 (see heat's note).
+    planes_per_core = 4
+
+    def _build(self) -> Program:
+        planes = self.scaled(self.planes_per_core * self.n_cores, minimum=6) + 2
+        size = planes * _PLANE_LINES * 32
+        buffers = [
+            self.alloc("grid0", size, "sw", inv_reads=True, inv_writes=True,
+                       init=lambda w: (w * 37 + 5) & 0xFFFFF),
+            self.alloc("grid1", size, "sw", inv_reads=True, inv_writes=True),
+        ]
+
+        def plane_lines(buf, z):
+            base = buf.base_line + z * _PLANE_LINES
+            return range(base, base + _PLANE_LINES)
+
+        phases = []
+        for sweep in range(self.sweeps):
+            src = buffers[sweep % 2]
+            dst = buffers[(sweep + 1) % 2]
+            self.set_phase_salt(sweep + 1)
+            tasks = []
+            for z in range(1, planes - 1):
+                sk = self.sketch()
+                for plane in (z - 1, z, z + 1):
+                    sk.read(src, plane_lines(src, plane), words_per_line=1)
+                sk.compute(_PLANE_LINES * 4)
+                sk.write(dst, plane_lines(dst, z), words_per_line=1)
+                tasks.append(sk.done())
+            phases.append(self.phase(f"sweep{sweep}", tasks))
+        return self.program(phases)

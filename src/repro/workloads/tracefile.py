@@ -1,0 +1,220 @@
+"""Trace-driven workloads: capture, save, and replay operation streams.
+
+The eight built-in kernels are *generators*; this module adds the other
+standard way of driving a memory-system simulator -- replaying a
+recorded trace. It defines a small line-oriented text format, a
+recorder that captures any program's fully expanded per-task operation
+stream (with its coherence metadata and initial memory image), and a
+:class:`TraceWorkload` that rebuilds an identical program from a trace,
+so experiments can be re-run bit-for-bit without the generator, shared
+between machines, or hand-edited into regression cases.
+
+Format (one record per line, ``#`` comments allowed)::
+
+    init <addr-hex> <value>            # initial memory image
+    phase <name> <code_lines>
+    task <stack_words>
+    flush <line-hex> [line-hex ...]    # eager task-end writebacks
+    input <line-hex> [line-hex ...]    # lazy barrier invalidations
+    ld <addr-hex> [expected-value]
+    st <addr-hex> [value]
+    at <addr-hex> [operand]
+    cp <cycles>
+
+Addresses and line numbers are hexadecimal; values are decimal. A
+``task`` record starts a new task inside the current phase; ``flush``
+and ``input`` attach that task's coherence metadata.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Dict, Iterable, List, Optional, TextIO, Tuple, Union
+
+from repro.errors import ConfigError
+from repro.runtime.program import Phase, Program, Task
+from repro.types import OP_ATOMIC, OP_COMPUTE, OP_LOAD, OP_STORE
+from repro.workloads.base import Workload
+
+_OP_NAMES = {OP_LOAD: "ld", OP_STORE: "st", OP_ATOMIC: "at", OP_COMPUTE: "cp"}
+_OP_CODES = {name: code for code, name in _OP_NAMES.items()}
+
+
+class TraceFormatError(ConfigError):
+    """A trace file violated the format."""
+
+
+# -- writing ------------------------------------------------------------------
+
+def dump_program(program: Program, stream: TextIO,
+                 initial_memory: Optional[Dict[int, int]] = None) -> int:
+    """Serialise ``program`` (and an initial memory image) to ``stream``.
+
+    Only the portable operation kinds are recorded (loads, stores,
+    atomics, compute); executor-injected traffic (instruction fetches,
+    stack frames, queue ops) is regenerated at replay time, exactly as
+    for generated programs. Returns the number of records written.
+    """
+    records = 0
+
+    def emit(text: str) -> None:
+        nonlocal records
+        stream.write(text + "\n")
+        records += 1
+
+    emit(f"# cohesion trace: {program.name}")
+    for addr in sorted(initial_memory or ()):
+        emit(f"init {addr:x} {initial_memory[addr]}")
+    for phase in program.phases:
+        emit(f"phase {phase.name} {phase.code_lines}")
+        for task in phase.tasks:
+            emit(f"task {task.stack_words}")
+            if task.flush_lines:
+                emit("flush " + " ".join(f"{ln:x}" for ln in task.flush_lines))
+            if task.input_lines:
+                emit("input " + " ".join(f"{ln:x}" for ln in task.input_lines))
+            for op in task.ops:
+                name = _OP_NAMES.get(op[0])
+                if name is None:
+                    continue  # non-portable (injected) op kinds
+                if name == "cp":
+                    emit(f"cp {op[1]}")
+                elif len(op) > 2:
+                    emit(f"{name} {op[1]:x} {op[2]}")
+                else:
+                    emit(f"{name} {op[1]:x}")
+    return records
+
+
+def dumps_program(program: Program,
+                  initial_memory: Optional[Dict[int, int]] = None) -> str:
+    buffer = io.StringIO()
+    dump_program(program, buffer, initial_memory)
+    return buffer.getvalue()
+
+
+def record_workload(workload: Workload, machine) -> str:
+    """Build ``workload`` on ``machine`` and return its trace text.
+
+    Must be called on a fresh (not yet run) ``track_data`` machine so
+    the backing store still holds exactly the initial memory image.
+    """
+    program = workload.build(machine)
+    backing = machine.memsys.backing
+    image = {}
+    if hasattr(backing, "_words"):
+        image = {word << 2: value for word, value in backing._words.items()}
+    return dumps_program(program, image)
+
+
+# -- reading --------------------------------------------------------------------
+
+def load_trace(source: Union[str, TextIO], name: str = "trace"
+               ) -> Tuple[Program, Dict[int, int]]:
+    """Parse a trace into (program, initial-memory image)."""
+    if isinstance(source, str):
+        lines: Iterable[str] = source.splitlines()
+    else:
+        lines = source
+    phases: List[Phase] = []
+    inits: Dict[int, int] = {}
+    current_phase: Optional[Phase] = None
+    current_task: Optional[Task] = None
+
+    for number, raw in enumerate(lines, start=1):
+        text = raw.strip()
+        if not text or text.startswith("#"):
+            continue
+        fields = text.split()
+        kind = fields[0]
+        try:
+            if kind == "init":
+                inits[int(fields[1], 16)] = int(fields[2])
+            elif kind == "phase":
+                current_phase = Phase(fields[1], [],
+                                      code_lines=int(fields[2]))
+                phases.append(current_phase)
+                current_task = None
+            elif kind == "task":
+                if current_phase is None:
+                    raise TraceFormatError(f"line {number}: task before phase")
+                current_task = Task(ops=[], flush_lines=[], input_lines=[],
+                                    stack_words=int(fields[1]))
+                current_phase.tasks.append(current_task)
+            elif kind in ("flush", "input"):
+                if current_task is None:
+                    raise TraceFormatError(
+                        f"line {number}: {kind} outside a task")
+                lines_list = [int(f, 16) for f in fields[1:]]
+                if kind == "flush":
+                    current_task.flush_lines = (list(current_task.flush_lines)
+                                                + lines_list)
+                else:
+                    current_task.input_lines = (list(current_task.input_lines)
+                                                + lines_list)
+            elif kind in _OP_CODES:
+                if current_task is None:
+                    raise TraceFormatError(
+                        f"line {number}: operation outside a task")
+                code = _OP_CODES[kind]
+                if kind == "cp":
+                    current_task.ops.append((code, int(fields[1])))
+                elif len(fields) > 2:
+                    current_task.ops.append(
+                        (code, int(fields[1], 16), int(fields[2])))
+                else:
+                    current_task.ops.append((code, int(fields[1], 16)))
+            else:
+                raise TraceFormatError(
+                    f"line {number}: unknown record {kind!r}")
+        except TraceFormatError:
+            raise
+        except (IndexError, ValueError) as exc:
+            raise TraceFormatError(f"line {number}: malformed record "
+                                   f"{text!r} ({exc})") from None
+    return Program(name, phases), inits
+
+
+def load_program(source: Union[str, TextIO], name: str = "trace") -> Program:
+    """Parse a trace, discarding the initial-memory image."""
+    program, _inits = load_trace(source, name)
+    return program
+
+
+# -- workload wrapper ---------------------------------------------------------------
+
+class TraceWorkload(Workload):
+    """Replays a saved trace as a workload.
+
+    The trace's addresses are used verbatim, so it must have been
+    recorded against a compatible address-space layout (the default one
+    unless the original machine was built differently). Expected-value
+    annotations are checked on ``track_data`` machines exactly like a
+    generated program's.
+    """
+
+    name = "trace"
+
+    def __init__(self, trace: Union[str, TextIO], scale: float = 1.0,
+                 seed: int = 1234) -> None:
+        super().__init__(scale=scale, seed=seed)
+        self._text = trace.read() if hasattr(trace, "read") else trace
+
+    def _build(self) -> Program:
+        program, inits = load_trace(self._text)
+        backing = self.machine.memsys.backing
+        for addr, value in inits.items():
+            backing.write_word_addr(addr, value)
+            self.shadow[addr] = value
+        for phase in program.phases:
+            if phase.code_lines:
+                phase.code_addr = self.machine.layout.code_base
+            for task in phase.tasks:
+                for op in task.ops:
+                    if op[0] == OP_STORE and len(op) > 2:
+                        self.expected[op[1]] = op[2]
+                    elif op[0] == OP_ATOMIC and len(op) > 2:
+                        addr = op[1]
+                        self.expected[addr] = (
+                            self.expected.get(addr, 0) + op[2]) & 0xFFFFFFFF
+        return program

@@ -1,0 +1,67 @@
+"""Section 4.4 directory area estimates."""
+
+import pytest
+
+from repro import MachineConfig
+from repro.analysis.area import (DirectoryAreaModel, dir4b_overhead,
+                                 duplicate_tag_overhead, full_map_overhead)
+
+MB = 1024 * 1024
+
+
+class TestPaperNumbers:
+    """The baseline machine reproduces the paper's Section 4.4 figures."""
+
+    def test_on_die_lines(self):
+        model = DirectoryAreaModel()
+        assert model.on_die_lines == 256 * 1024          # "256K 32-byte lines"
+        assert model.l2_aggregate_bytes == 8 * MB        # "8 MB total"
+        assert model.sparse_entries == 512 * 1024        # 16K x 32 banks
+
+    def test_full_map_about_9mb_113_percent(self):
+        estimate = full_map_overhead()
+        # paper: 9.28 MB (113% of L2); exact bit accounting gives 9.13 MB
+        assert estimate.total_mb == pytest.approx(9.28, rel=0.03)
+        assert estimate.fraction_of_l2 == pytest.approx(1.13, rel=0.03)
+
+    def test_dir4b_exactly_2_88mb(self):
+        estimate = dir4b_overhead()
+        # 46 bits x 512K entries = 2.88 MB (paper: 2.88 MB, 35.1%)
+        assert estimate.total_mb == pytest.approx(2.88, rel=0.01)
+        assert estimate.fraction_of_l2 == pytest.approx(0.351, rel=0.03)
+
+    def test_duplicate_tags_exactly_736kb(self):
+        estimate = duplicate_tag_overhead()
+        assert estimate.total_bytes == 736 * 1024
+        assert estimate.fraction_of_l2 == pytest.approx(0.0898, rel=0.01)
+
+    def test_duplicate_tag_replication_scales_linearly(self):
+        one = duplicate_tag_overhead(replicas=1)
+        eight = duplicate_tag_overhead(replicas=8)
+        assert eight.total_bytes == 8 * one.total_bytes
+
+    def test_duplicate_tag_associativity_2048(self):
+        assert DirectoryAreaModel().duplicate_tag_associativity() == 2048
+
+    def test_replica_bounds(self):
+        model = DirectoryAreaModel()
+        with pytest.raises(ValueError):
+            model.duplicate_tags(0)
+        with pytest.raises(ValueError):
+            model.duplicate_tags(33)
+
+
+class TestGeneralisation:
+    def test_scales_with_cluster_count(self):
+        small = DirectoryAreaModel(MachineConfig().scaled(32))
+        big = DirectoryAreaModel(MachineConfig())
+        assert small.full_map().total_bytes < big.full_map().total_bytes
+
+    def test_summary_has_four_entries(self):
+        summary = DirectoryAreaModel().summary()
+        assert len(summary) == 4
+        assert all(str(e) for e in summary)
+
+    def test_dir4b_cheaper_than_full_map(self):
+        model = DirectoryAreaModel()
+        assert model.dir4b().total_bytes < model.full_map().total_bytes

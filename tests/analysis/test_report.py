@@ -1,0 +1,65 @@
+"""Report rendering helpers."""
+
+from repro.analysis.report import (ascii_bar_chart, format_table,
+                                   grouped_bar_chart)
+
+
+class TestFormatTable:
+    def test_empty_rows(self):
+        table = format_table(["a", "b"], [])
+        assert "a" in table and "b" in table
+
+    def test_numeric_formatting(self):
+        table = format_table(["k", "v"], [["big", 123456], ["small", 1.5],
+                                          ["huge_float", 1234.5]])
+        assert "123,456" in table
+        assert "1.500" in table
+        assert "1,234" in table  # big floats rendered with separators
+
+    def test_first_column_left_aligned(self):
+        table = format_table(["name", "v"], [["x", 1], ["longer", 2]])
+        lines = table.splitlines()
+        assert lines[-2].startswith("x ")
+        assert lines[-1].startswith("longer")
+
+
+class TestAsciiBarChart:
+    def test_scaling_to_peak(self):
+        chart = ascii_bar_chart([("a", 1.0), ("b", 2.0)], width=10)
+        lines = chart.splitlines()
+        assert lines[0].count("#") == 5
+        assert lines[1].count("#") == 10
+
+    def test_baseline_marked(self):
+        chart = ascii_bar_chart([("swcc", 1.0), ("hwcc", 1.8)])
+        assert "(baseline)" in chart.splitlines()[0]
+        assert "(baseline)" not in chart.splitlines()[1]
+
+    def test_title_and_empty(self):
+        assert ascii_bar_chart([], title="t") == "t"
+        assert ascii_bar_chart([("a", 0.0)], title="t").startswith("t")
+
+    def test_minimum_one_hash(self):
+        chart = ascii_bar_chart([("tiny", 0.001), ("big", 100.0)], width=20)
+        assert "#" in chart.splitlines()[0]
+
+    def test_labels_aligned(self):
+        chart = ascii_bar_chart([("a", 1.0), ("longer", 1.0)])
+        lines = chart.splitlines()
+        assert lines[0].index("|") == lines[1].index("|")
+
+
+class TestGroupedBarChart:
+    def test_groups_and_order(self):
+        chart = grouped_bar_chart(
+            {"heat": {"SWcc": 1.0, "HWcc": 1.8},
+             "dmm": {"SWcc": 1.0, "HWcc": 1.4}},
+            order=["SWcc", "HWcc"], title="Figure 2")
+        assert chart.startswith("Figure 2")
+        assert "[heat]" in chart and "[dmm]" in chart
+        heat_block = chart.split("[heat]")[1].split("[dmm]")[0]
+        assert heat_block.index("SWcc") < heat_block.index("HWcc")
+
+    def test_missing_config_skipped(self):
+        chart = grouped_bar_chart({"x": {"A": 1.0}}, order=["A", "B"])
+        assert "B" not in chart

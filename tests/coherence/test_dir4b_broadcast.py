@@ -1,0 +1,83 @@
+"""Dir4B limited-pointer behaviour at sharer counts that overflow it."""
+
+import pytest
+
+from repro import Machine, MachineConfig, Policy
+from repro.types import DirectoryKind
+
+ADDR = 0x2100_0000
+LINE = ADDR >> 5
+N_CLUSTERS = 8  # > 4 pointers: overflow is reachable
+
+
+@pytest.fixture
+def machine():
+    config = MachineConfig(track_data=True).scaled(N_CLUSTERS)
+    policy = Policy(kind=Policy.hwcc_real().kind,
+                    directory=DirectoryKind.DIR4B,
+                    dir_entries_per_bank=4096, dir_assoc=64)
+    return Machine(config, policy)
+
+
+def share_widely(machine, n_sharers, t0=0.0):
+    for cid in range(n_sharers):
+        machine.clusters[cid].load(0, ADDR, t0 + 100.0 * cid)
+    return machine.memsys.directory_of(LINE).get(LINE)
+
+
+class TestOverflow:
+    def test_four_sharers_stay_precise(self, machine):
+        entry = share_widely(machine, 4)
+        assert not entry.broadcast
+        targets, bcast = machine.memsys.dirs[
+            machine.memsys.map.bank_of_line(LINE)].invalidation_targets(
+                entry, N_CLUSTERS)
+        assert not bcast and len(targets) == 4
+
+    def test_fifth_sharer_triggers_broadcast_mode(self, machine):
+        entry = share_widely(machine, 5)
+        assert entry.broadcast
+        _targets, bcast = machine.memsys.dirs[
+            machine.memsys.map.bank_of_line(LINE)].invalidation_targets(
+                entry, N_CLUSTERS)
+        assert bcast
+
+    def test_broadcast_invalidation_probes_every_cluster(self, machine):
+        share_widely(machine, 6)
+        counters = machine.memsys.counters
+        before = counters.probe_response
+        # the seventh cluster writes: all other clusters must be probed,
+        # including the non-sharers (broadcast acks)
+        machine.clusters[7].store(0, ADDR, 99, 10_000.0)
+        probes = counters.probe_response - before
+        assert probes == N_CLUSTERS - 1
+        # correctness preserved: everyone sees the new value
+        for cid in range(N_CLUSTERS - 1):
+            _t, value = machine.clusters[cid].load(0, ADDR, 20_000.0 + cid)
+            assert value == 99
+
+    def test_precise_invalidation_cheaper_than_broadcast(self, machine):
+        counters = machine.memsys.counters
+        share_widely(machine, 2)
+        before = counters.probe_response
+        machine.clusters[3].store(0, ADDR, 1, 10_000.0)
+        precise_probes = counters.probe_response - before
+        assert precise_probes == 2  # exactly the sharers
+
+    def test_broadcast_costs_more_network_traffic(self):
+        """Probes run in parallel (similar latency), but a broadcast
+        moves many more messages -- the overhead the paper charges
+        limited directories with."""
+        def network_messages_for_write(n_sharers):
+            config = MachineConfig(track_data=False).scaled(N_CLUSTERS)
+            policy = Policy(kind=Policy.hwcc_real().kind,
+                            directory=DirectoryKind.DIR4B,
+                            dir_entries_per_bank=4096, dir_assoc=64)
+            machine = Machine(config, policy)
+            share_widely(machine, n_sharers)
+            ms = machine.memsys
+            before = ms.net.messages
+            ms.write_line_request(7, LINE, 50_000.0)
+            return ms.net.messages - before
+
+        assert network_messages_for_write(6) > network_messages_for_write(2)

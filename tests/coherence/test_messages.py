@@ -1,0 +1,61 @@
+"""Message taxonomy counters."""
+
+from repro.coherence.messages import MessageCounters
+from repro.types import MESSAGE_STACK_ORDER, MessageType
+
+
+class TestMessageCounters:
+    def test_starts_at_zero(self):
+        counters = MessageCounters()
+        assert counters.total() == 0
+        assert all(v == 0 for v in counters.as_dict().values())
+
+    def test_total_sums_all_categories(self):
+        counters = MessageCounters()
+        counters.read_request = 3
+        counters.write_request = 2
+        counters.probe_response = 1
+        assert counters.total() == 6
+
+    def test_as_dict_covers_every_type(self):
+        counters = MessageCounters()
+        assert set(counters.as_dict()) == set(MessageType)
+        assert len(MESSAGE_STACK_ORDER) == len(MessageType)
+
+    def test_reset(self):
+        counters = MessageCounters()
+        counters.read_request = 5
+        counters.wb_issued = 2
+        counters.reset()
+        assert counters.total() == 0
+        assert counters.wb_issued == 0
+
+    def test_useful_fractions(self):
+        counters = MessageCounters()
+        assert counters.useful_wb_fraction == 0.0
+        assert counters.useful_inv_fraction == 0.0
+        counters.wb_issued = 10
+        counters.wb_on_valid = 4
+        counters.inv_issued = 5
+        counters.inv_on_valid = 5
+        assert counters.useful_wb_fraction == 0.4
+        assert counters.useful_inv_fraction == 1.0
+        assert counters.useful_coherence_fraction == 9 / 15
+
+    def test_useful_fraction_empty_denominator(self):
+        counters = MessageCounters()
+        assert counters.useful_coherence_fraction == 0.0
+
+    def test_merged_with(self):
+        a = MessageCounters()
+        b = MessageCounters()
+        a.read_request = 1
+        a.wb_issued = 2
+        b.read_request = 10
+        b.software_flush = 3
+        merged = a.merged_with(b)
+        assert merged.read_request == 11
+        assert merged.software_flush == 3
+        assert merged.wb_issued == 2
+        # originals untouched
+        assert a.read_request == 1 and b.read_request == 10

@@ -1,0 +1,143 @@
+"""Scripted MSI litmus sequences across clusters.
+
+Each test drives a short, fully determined sequence of accesses and
+checks the directory state, cache contents, message counts, and data
+values after every step -- the protocol equivalent of litmus tests.
+"""
+
+import pytest
+
+from repro import Policy
+from repro.coherence.directory import DIR_M, DIR_S
+
+from tests.conftest import make_machine
+
+ADDR = 0x2100_0000  # coherent heap, clear of runtime cells
+LINE = ADDR >> 5
+
+
+@pytest.fixture
+def machine():
+    return make_machine(Policy.hwcc_ideal())
+
+
+def dir_entry(machine):
+    return machine.memsys.directory_of(LINE).get(LINE)
+
+
+class TestReadChains:
+    def test_r_r_r_accumulates_sharers(self, machine):
+        for cid in range(2):
+            for core in range(3):
+                machine.clusters[cid].load(core, ADDR, 100.0 * cid + core)
+        entry = dir_entry(machine)
+        assert entry.state == DIR_S
+        assert sorted(entry.sharer_ids()) == [0, 1]
+        # only the first access per cluster missed to the L3
+        assert machine.memsys.counters.read_request == 2
+
+    def test_read_release_then_reread(self, machine):
+        machine.clusters[0].load(0, ADDR, 0.0)
+        machine.memsys.read_release(0, LINE, 100.0)
+        assert dir_entry(machine) is None
+        machine.clusters[0].l2.remove(LINE)
+        machine.clusters[0]._drop_l1(LINE)
+        machine.clusters[0].load(0, ADDR, 200.0)
+        assert dir_entry(machine).sharer_ids() == [0]
+
+
+class TestWriteChains:
+    def test_w_r_w_migratory(self, machine):
+        """The migratory pattern: write, remote read, remote write."""
+        c0, c1 = machine.clusters
+        c0.store(0, ADDR, 1, 0.0)
+        assert dir_entry(machine).state == DIR_M
+        assert dir_entry(machine).owner() == 0
+
+        _t, seen = c1.load(0, ADDR, 1000.0)
+        assert seen == 1
+        entry = dir_entry(machine)
+        assert entry.state == DIR_S
+        assert sorted(entry.sharer_ids()) == [0, 1]
+
+        c1.store(0, ADDR, 2, 2000.0)  # upgrade: invalidate the old owner
+        entry = dir_entry(machine)
+        assert entry.state == DIR_M and entry.owner() == 1
+        assert c0.l2.peek(LINE) is None
+
+        _t, seen = c0.load(0, ADDR, 3000.0)
+        assert seen == 2
+
+    def test_w_w_pingpong_counts(self, machine):
+        c0, c1 = machine.clusters
+        counters = machine.memsys.counters
+        t = 0.0
+        for round_index in range(4):
+            writer = (c0, c1)[round_index % 2]
+            t = writer.store(0, ADDR, round_index, t + 500.0)
+        # round 0: plain write miss; rounds 1-3 steal from the other
+        # cluster: 4 write requests, 3 probe responses
+        assert counters.write_request == 4
+        assert counters.probe_response == 3
+        _t, seen = c0.load(0, ADDR, 1e6)
+        assert seen == 3
+
+    def test_false_sharing_pingpong(self, machine):
+        """Distinct words of one line still ping-pong under HWcc --
+        exactly what the paper notes SWcc eliminates."""
+        c0, c1 = machine.clusters
+        t = 0.0
+        for i in range(3):
+            t = c0.store(0, ADDR, i, t + 500.0)        # word 0
+            t = c1.store(0, ADDR + 4, 100 + i, t + 500.0)  # word 1
+        assert machine.memsys.counters.probe_response >= 5
+        # both final values visible
+        _t, w0 = c1.load(0, ADDR, 1e6)
+        _t, w1 = c0.load(1, ADDR + 4, 1e6 + 100)
+        assert (w0, w1) == (2, 102)
+
+    def test_no_false_sharing_under_swcc(self):
+        """The same word-disjoint pattern under SWcc: zero probes."""
+        machine = make_machine(Policy.swcc())
+        c0, c1 = machine.clusters
+        t = 0.0
+        for i in range(3):
+            t = c0.store(0, ADDR, i, t + 500.0)
+            t = c1.store(0, ADDR + 4, 100 + i, t + 500.0)
+        assert machine.memsys.counters.probe_response == 0
+        assert machine.memsys.counters.total() == 0  # fully local
+        # flushes merge the disjoint words at the L3
+        c0.flush_line(0, LINE, 1e5)
+        c1.flush_line(0, LINE, 1e5 + 50)
+        reply = machine.memsys.read_line(0, LINE, 1e6)
+        assert reply.data[0] == 2 and reply.data[1] == 102
+
+
+class TestMixedChains:
+    def test_r_w_same_cluster_upgrade(self, machine):
+        cluster = machine.clusters[0]
+        cluster.load(0, ADDR, 0.0)
+        assert dir_entry(machine).state == DIR_S
+        cluster.store(1, ADDR, 9, 100.0)  # different core, same L2
+        entry = dir_entry(machine)
+        assert entry.state == DIR_M and entry.owner() == 0
+        # the sibling core's upgrade kept the line local: no probes
+        assert machine.memsys.counters.probe_response == 0
+
+    def test_atomic_after_write_chain(self, machine):
+        c0, c1 = machine.clusters
+        c0.store(0, ADDR, 10, 0.0)
+        _t, old = c1.atomic(0, ADDR, lambda a, b: a + b, 5, 1000.0)
+        assert old == 10
+        assert dir_entry(machine) is None  # atomics leave the line uncached
+        _t, seen = c0.load(0, ADDR, 2000.0)
+        assert seen == 15
+
+    def test_downgrade_preserves_other_words(self, machine):
+        c0, c1 = machine.clusters
+        machine.memsys.backing.write_word_addr(ADDR + 28, 777)
+        c0.store(0, ADDR, 1, 0.0)        # word 0 dirty, word 7 from memory
+        _t, tail = c1.load(0, ADDR + 28, 1000.0)
+        assert tail == 777
+        _t, head = c1.load(0, ADDR, 1001.0)
+        assert head == 1

@@ -1,0 +1,64 @@
+"""Shared fixtures: small machines for every design point."""
+
+import pytest
+
+from repro import Machine, MachineConfig, Policy
+
+
+def small_config(n_clusters: int = 2, track_data: bool = True,
+                 **overrides) -> MachineConfig:
+    """A tiny machine for tests: 2 clusters (16 cores), data-tracking."""
+    config = MachineConfig(track_data=track_data).scaled(n_clusters)
+    if overrides:
+        import dataclasses
+        config = dataclasses.replace(config, **overrides)
+    return config
+
+
+def make_machine(policy: Policy, n_clusters: int = 2,
+                 track_data: bool = True, **overrides) -> Machine:
+    return Machine(small_config(n_clusters, track_data, **overrides), policy)
+
+
+@pytest.fixture
+def config():
+    return small_config()
+
+
+@pytest.fixture
+def swcc_machine():
+    return make_machine(Policy.swcc())
+
+
+@pytest.fixture
+def hwcc_machine():
+    return make_machine(Policy.hwcc_ideal())
+
+
+@pytest.fixture
+def hwcc_real_machine():
+    return make_machine(Policy.hwcc_real(entries_per_bank=512, assoc=8))
+
+
+@pytest.fixture
+def cohesion_machine():
+    return make_machine(Policy.cohesion())
+
+
+ALL_POLICY_LABELS = ["swcc", "hwcc_ideal", "hwcc_real", "dir4b", "cohesion",
+                     "cohesion_ideal"]
+
+
+def policy_by_label(label: str) -> Policy:
+    from repro.types import DirectoryKind
+
+    return {
+        "swcc": Policy.swcc(),
+        "hwcc_ideal": Policy.hwcc_ideal(),
+        "hwcc_real": Policy.hwcc_real(entries_per_bank=1024, assoc=64),
+        "dir4b": Policy(directory=DirectoryKind.DIR4B,
+                        kind=Policy.hwcc_real().kind,
+                        dir_entries_per_bank=1024, dir_assoc=64),
+        "cohesion": Policy.cohesion(entries_per_bank=1024, assoc=64),
+        "cohesion_ideal": Policy.cohesion_ideal(),
+    }[label]

@@ -1,0 +1,194 @@
+"""Adaptive coherence-domain remapping (future-work extension)."""
+
+import pytest
+
+from repro import Policy
+from repro.core.adaptive import (AdaptiveRemapper, Region, RegionProfiler)
+from repro.errors import RegionError
+from repro.types import Domain
+
+from tests.conftest import make_machine
+
+INC = 0x4000_0000
+HEAP = 0x2000_0000
+
+
+@pytest.fixture
+def machine():
+    return make_machine(Policy.cohesion())
+
+
+class TestRegionProfiler:
+    def test_register_and_lookup(self):
+        profiler = RegionProfiler()
+        profiler.register("a", 0x1000, 0x1000, Domain.SWCC)
+        profiler.register("b", 0x3000, 0x1000, Domain.HWCC)
+        assert profiler.region_of_line(0x1000 >> 5).name == "a"
+        assert profiler.region_of_line(0x1FE0 >> 5).name == "a"
+        assert profiler.region_of_line(0x2000 >> 5) is None
+        assert profiler.region_of_line(0x3000 >> 5).name == "b"
+        assert profiler.region_of_line(0) is None
+
+    def test_overlap_rejected(self):
+        profiler = RegionProfiler()
+        profiler.register("a", 0x1000, 0x1000, Domain.SWCC)
+        with pytest.raises(RegionError):
+            profiler.register("b", 0x1800, 0x1000, Domain.SWCC)
+        with pytest.raises(RegionError):
+            profiler.register("c", 0x800, 0x1000, Domain.SWCC)
+
+    def test_note_attribution(self):
+        profiler = RegionProfiler()
+        region = profiler.register("a", 0x1000, 0x1000, Domain.HWCC)
+        line = 0x1000 >> 5
+        profiler.note(line, profiler.READ, 0)
+        profiler.note(line, profiler.READ, 1)
+        profiler.note(line, profiler.WRITE, 1)
+        profiler.note(line, profiler.FLUSH, 0)
+        profiler.note(line, profiler.ATOMIC, 2)
+        profile = region.profile
+        assert profile.reads == 2
+        assert profile.writes == 1 and profile.flushes == 1
+        assert profile.atomics == 1
+        assert profile.read_sharers == {0, 1}
+        assert profile.write_sharers == {0, 1, 2}
+        assert not profile.read_only
+        assert profile.write_shared
+
+    def test_unregistered_traffic_ignored(self):
+        profiler = RegionProfiler()
+        profiler.register("a", 0x1000, 0x1000, Domain.HWCC)
+        profiler.note(0x9000 >> 5, profiler.READ, 0)  # no crash, no count
+        assert profiler.regions()[0].profile.total == 0
+
+    def test_profile_reset(self):
+        profile = Region("x", 0, 32, Domain.SWCC).profile
+        profile.reads = 5
+        profile.read_sharers.add(1)
+        profile.reset()
+        assert profile.total == 0 and not profile.read_sharers
+
+
+class TestMemorySystemHook:
+    def test_traffic_is_attributed(self, machine):
+        remapper = AdaptiveRemapper(machine)
+        region = remapper.register("buf", HEAP, 4096, Domain.HWCC)
+        machine.clusters[0].load(0, HEAP, 0.0)
+        machine.clusters[1].load(0, HEAP + 64, 0.0)
+        machine.clusters[0].store(0, HEAP + 128, 1, 10.0)
+        machine.clusters[0].atomic(0, HEAP + 256, lambda a, b: a + b, 1, 20.0)
+        assert region.profile.reads == 2
+        assert region.profile.writes == 1
+        assert region.profile.atomics == 1
+
+    def test_requires_cohesion(self):
+        machine = make_machine(Policy.hwcc_ideal())
+        with pytest.raises(RegionError):
+            AdaptiveRemapper(machine)
+
+
+class TestDecisions:
+    def _drive_read_sharing(self, machine, base, n_lines=48):
+        t = 0.0
+        for cluster in machine.clusters:
+            for i in range(n_lines):
+                t, _ = cluster.load(0, base + 32 * i, t)
+        return t
+
+    def test_read_shared_hwcc_region_moves_to_swcc(self, machine):
+        remapper = AdaptiveRemapper(machine)
+        remapper.register("input", HEAP, 48 * 32, Domain.HWCC)
+        self._drive_read_sharing(machine, HEAP)
+        decisions = remapper.on_barrier()
+        assert len(decisions) == 1
+        assert decisions[0].to_domain is Domain.SWCC
+        assert machine.memsys.fine.is_swcc(HEAP >> 5)
+        assert remapper.summary()["input"] is Domain.SWCC
+
+    def test_write_shared_swcc_region_moves_to_hwcc(self, machine):
+        remapper = AdaptiveRemapper(machine)
+        remapper.register("shared", INC, 64 * 32, Domain.SWCC)
+        t = 0.0
+        # both clusters write-miss (disjoint lines) into the SWcc region
+        for cid, cluster in enumerate(machine.clusters):
+            for i in range(24):
+                t = cluster.store(0, INC + 32 * (2 * i + cid), 1, t)
+        decisions = remapper.on_barrier()
+        assert [d.to_domain for d in decisions] == [Domain.HWCC]
+        assert not machine.memsys.fine.is_swcc(INC >> 5)
+
+    def test_quiet_region_untouched(self, machine):
+        remapper = AdaptiveRemapper(machine, min_traffic=32)
+        remapper.register("quiet", HEAP, 4096, Domain.HWCC)
+        machine.clusters[0].load(0, HEAP, 0.0)
+        assert remapper.on_barrier() == []
+
+    def test_private_region_untouched(self, machine):
+        remapper = AdaptiveRemapper(machine)
+        remapper.register("private", HEAP, 64 * 32, Domain.HWCC)
+        cluster = machine.clusters[0]  # a single sharer only
+        t = 0.0
+        for i in range(64):
+            t, _ = cluster.load(0, HEAP + 32 * i, t)
+        assert remapper.on_barrier() == []
+
+    def test_hysteresis_blocks_immediate_flip_back(self, machine):
+        remapper = AdaptiveRemapper(machine, hysteresis_phases=3)
+        remapper.register("input", HEAP, 48 * 32, Domain.HWCC)
+        self._drive_read_sharing(machine, HEAP)
+        assert remapper.on_barrier()  # flips to SWcc
+        # next phase: two clusters write -> would flip back, but hysteresis
+        t = 1e6
+        for cid, cluster in enumerate(machine.clusters):
+            for i in range(24):
+                t = cluster.store(0, HEAP + 32 * (2 * i + cid), 1, t)
+        assert remapper.on_barrier() == []
+
+    def test_profiles_reset_each_barrier(self, machine):
+        remapper = AdaptiveRemapper(machine)
+        region = remapper.register("input", HEAP, 48 * 32, Domain.HWCC)
+        self._drive_read_sharing(machine, HEAP)
+        remapper.on_barrier()
+        assert region.profile.total == 0
+
+    def test_decision_log_accumulates(self, machine):
+        remapper = AdaptiveRemapper(machine, hysteresis_phases=0)
+        remapper.register("input", HEAP, 48 * 32, Domain.HWCC)
+        self._drive_read_sharing(machine, HEAP)
+        remapper.on_barrier()
+        # now drive write sharing in the (now SWcc) region
+        t = 1e6
+        for cid, cluster in enumerate(machine.clusters):
+            for i in range(24):
+                t = cluster.store(0, HEAP + 32 * (2 * i + cid), 1, t)
+        remapper.on_barrier()
+        domains = [d.to_domain for d in remapper.decisions]
+        assert domains == [Domain.SWCC, Domain.HWCC]
+        assert remapper.decisions[0].phase_index == 0
+        assert remapper.decisions[1].phase_index == 1
+
+
+class TestEndToEndWithExecutor:
+    def test_remapper_as_phase_hook(self, machine):
+        """The remapper plugs into Phase.after and changes later phases."""
+        from repro.runtime.program import Phase, Program, Task
+        from repro.types import OP_LOAD
+
+        remapper = AdaptiveRemapper(machine)
+        # a dedicated allocation (the low heap holds the runtime's
+        # queue/barrier cells, whose atomics would look like writes)
+        base = machine.api.malloc(64 * 32)
+        remapper.register("table", base, 64 * 32, Domain.HWCC)
+        ops = [(OP_LOAD, base + 32 * i) for i in range(64)]
+        # more tasks than cores so both clusters participate
+        phase1 = Phase("read1", [Task(ops=list(ops), stack_words=0)
+                                 for _ in range(40)],
+                       code_lines=0, after=remapper.on_barrier)
+        phase2 = Phase("read2", [Task(ops=list(ops), stack_words=0)
+                                 for _ in range(40)],
+                       code_lines=0)
+        machine.run(Program("adaptive", [phase1, phase2]))
+        assert remapper.summary()["table"] is Domain.SWCC
+        # phase 2 ran with the region software-managed: no new entries
+        line = base >> 5
+        assert machine.memsys.directory_of(line).get(line) is None

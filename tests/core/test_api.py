@@ -1,0 +1,112 @@
+"""The Table 2 software API."""
+
+import pytest
+
+from repro import Policy
+from repro.errors import AllocationError
+from repro.mem.address import lines_in_range
+
+from tests.conftest import make_machine
+
+
+@pytest.fixture
+def machine():
+    return make_machine(Policy.cohesion())
+
+
+class TestHeapPlacement:
+    def test_malloc_on_coherent_heap(self, machine):
+        layout = machine.layout
+        ptr = machine.api.malloc(100)
+        assert layout.coherent_heap_base <= ptr < (
+            layout.coherent_heap_base + layout.coherent_heap_size)
+
+    def test_coh_malloc_on_incoherent_heap(self, machine):
+        layout = machine.layout
+        ptr = machine.api.coh_malloc(100)
+        assert layout.incoherent_heap_base <= ptr < (
+            layout.incoherent_heap_base + layout.incoherent_heap_size)
+
+    def test_coh_malloc_64_byte_min(self, machine):
+        a = machine.api.coh_malloc(1)
+        b = machine.api.coh_malloc(1)
+        assert b - a >= 64
+        assert a % 64 == 0
+
+    def test_free_roundtrip(self, machine):
+        api = machine.api
+        ptr = api.malloc(64)
+        api.free(ptr)
+        assert api.malloc(64) == ptr
+        cptr = api.coh_malloc(64)
+        api.coh_free(cptr)
+        assert api.coh_malloc(64) == cptr
+
+    def test_cross_heap_free_rejected(self, machine):
+        api = machine.api
+        ptr = api.malloc(64)
+        with pytest.raises(AllocationError):
+            api.coh_free(ptr)
+
+
+class TestDomains:
+    def test_malloc_data_is_hwcc(self, machine):
+        ptr = machine.api.malloc(64)
+        assert not machine.memsys.read_line(0, ptr >> 5, 0.0).incoherent
+
+    def test_coh_malloc_initially_swcc(self, machine):
+        """Table 2: initial state is SWcc, not present in any cache."""
+        ptr = machine.api.coh_malloc(128)
+        for line in lines_in_range(ptr, 128):
+            assert machine.memsys.fine.is_swcc(line)
+            for cluster in machine.clusters:
+                assert cluster.peek_line(line) is None
+
+    def test_coh_HWcc_region_transitions(self, machine):
+        api = machine.api
+        ptr = api.coh_malloc(256)
+        api.coh_HWcc_region(ptr, 256)
+        for line in lines_in_range(ptr, 256):
+            assert not machine.memsys.fine.is_swcc(line)
+        assert not machine.memsys.read_line(0, ptr >> 5, 1e6).incoherent
+
+    def test_coh_SWcc_region_transitions_back(self, machine):
+        api = machine.api
+        ptr = api.coh_malloc(256)
+        api.coh_HWcc_region(ptr, 256)
+        api.coh_SWcc_region(ptr, 256)
+        for line in lines_in_range(ptr, 256):
+            assert machine.memsys.fine.is_swcc(line)
+
+    def test_region_calls_can_target_any_range(self, machine):
+        """coh_*_region works on HWcc-heap data too (Table 2: data may
+        be HWcc or SWcc)."""
+        ptr = machine.api.malloc(64)
+        machine.api.coh_SWcc_region(ptr, 64)
+        assert machine.memsys.read_line(0, ptr >> 5, 1e6).incoherent
+
+    def test_region_validation(self, machine):
+        with pytest.raises(AllocationError):
+            machine.api.coh_SWcc_region(0x1000, 0)
+        with pytest.raises(AllocationError):
+            machine.api.coh_HWcc_region(0xFFFFFFF0, 0x100)
+
+    def test_api_is_noop_for_non_hybrid_policies(self):
+        machine = make_machine(Policy.swcc())
+        ptr = machine.api.coh_malloc(128)
+        before = machine.memsys.counters.total()
+        machine.api.coh_HWcc_region(ptr, 128)
+        machine.api.coh_SWcc_region(ptr, 128)
+        assert machine.memsys.counters.total() == before
+
+    def test_transitions_advance_issuing_core_clock(self, machine):
+        ptr = machine.api.coh_malloc(64)
+        machine.api.coh_HWcc_region(ptr, 64)
+        assert machine.core_clocks[0] > 0.0
+        assert machine.core_clocks[1] == 0.0
+
+    def test_transition_traffic_is_counted(self, machine):
+        ptr = machine.api.coh_malloc(64)
+        before = machine.memsys.counters.uncached_atomic
+        machine.api.coh_HWcc_region(ptr, 64)
+        assert machine.memsys.counters.uncached_atomic > before

@@ -1,0 +1,151 @@
+"""Heap allocators (coherent and incoherent, Section 3.5)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, precondition, rule
+
+from repro.core.heap import (FreeListAllocator, make_coherent_heap,
+                             make_incoherent_heap)
+from repro.errors import AllocationError
+
+
+class TestBasicAllocation:
+    def test_alloc_returns_aligned(self):
+        heap = FreeListAllocator(0x1000, 0x1000, min_align=32)
+        addr = heap.alloc(10)
+        assert addr == 0x1000
+        assert addr % 32 == 0
+
+    def test_sequential_allocations_disjoint(self):
+        heap = FreeListAllocator(0, 4096, min_align=8)
+        a = heap.alloc(100)
+        b = heap.alloc(100)
+        assert b >= a + 100
+
+    def test_free_and_reuse(self):
+        heap = FreeListAllocator(0, 256, min_align=8)
+        a = heap.alloc(256)
+        with pytest.raises(AllocationError):
+            heap.alloc(8)
+        heap.free(a)
+        assert heap.alloc(256) == a
+
+    def test_double_free_rejected(self):
+        heap = FreeListAllocator(0, 256)
+        a = heap.alloc(16)
+        heap.free(a)
+        with pytest.raises(AllocationError):
+            heap.free(a)
+
+    def test_invalid_free_rejected(self):
+        heap = FreeListAllocator(0, 256)
+        with pytest.raises(AllocationError):
+            heap.free(0x40)
+
+    def test_zero_or_negative_size_rejected(self):
+        heap = FreeListAllocator(0, 256)
+        with pytest.raises(AllocationError):
+            heap.alloc(0)
+        with pytest.raises(AllocationError):
+            heap.alloc(-4)
+
+    def test_oom_message(self):
+        heap = FreeListAllocator(0, 64, name="tiny")
+        heap.alloc(64)
+        with pytest.raises(AllocationError, match="tiny"):
+            heap.alloc(1)
+
+    def test_coalescing_rebuilds_big_chunks(self):
+        heap = FreeListAllocator(0, 512, min_align=8)
+        blocks = [heap.alloc(64) for _ in range(8)]
+        for addr in blocks:  # free in forward order -> right-coalesce
+            heap.free(addr)
+        assert heap.alloc(512) == 0
+
+    def test_coalescing_reverse_order(self):
+        heap = FreeListAllocator(0, 512, min_align=8)
+        blocks = [heap.alloc(64) for _ in range(8)]
+        for addr in reversed(blocks):
+            heap.free(addr)
+        heap.check_invariants()
+        assert heap.alloc(512) == 0
+
+    def test_size_of_and_owns(self):
+        heap = FreeListAllocator(0x100, 256, min_align=8)
+        addr = heap.alloc(20)
+        assert heap.size_of(addr) == 24  # rounded to alignment
+        assert heap.owns(addr)
+        assert not heap.owns(0x500)
+        with pytest.raises(AllocationError):
+            heap.size_of(0x105)
+
+    def test_accounting(self):
+        heap = FreeListAllocator(0, 256, min_align=8)
+        assert heap.free_bytes == 256
+        heap.alloc(64)
+        assert heap.allocated_bytes == 64
+        assert heap.free_bytes == 192
+        assert heap.live_allocations == 1
+
+    def test_config_validation(self):
+        with pytest.raises(AllocationError):
+            FreeListAllocator(0, 0)
+        with pytest.raises(AllocationError):
+            FreeListAllocator(0, 64, min_align=3)
+        with pytest.raises(AllocationError):
+            FreeListAllocator(4, 64, min_align=8)
+
+
+class TestTable2Heaps:
+    def test_coherent_heap_libc_like(self):
+        heap = make_coherent_heap(0x20000000, 1 << 20)
+        addr = heap.alloc(1)
+        assert heap.size_of(addr) == 16  # libc-style minimum
+        assert addr % 8 == 0
+
+    def test_incoherent_heap_64_byte_minimum(self):
+        """Section 3.5: minimum allocation is two cache lines so the
+        allocator metadata stays on coherent lines."""
+        heap = make_incoherent_heap(0x40000000, 1 << 20)
+        addr = heap.alloc(1)
+        assert heap.size_of(addr) == 64
+        assert addr % 64 == 0
+        other = heap.alloc(65)
+        assert heap.size_of(other) == 128
+
+
+class HeapMachine(RuleBasedStateMachine):
+    """Stateful fuzz: byte conservation, disjointness, coalescing."""
+
+    def __init__(self):
+        super().__init__()
+        self.heap = FreeListAllocator(0, 1 << 16, min_align=16)
+        self.live = {}
+
+    @rule(size=st.integers(min_value=1, max_value=2048))
+    def alloc(self, size):
+        try:
+            addr = self.heap.alloc(size)
+        except AllocationError:
+            return
+        rounded = self.heap.size_of(addr)
+        for other, osize in self.live.items():
+            assert addr + rounded <= other or other + osize <= addr
+        self.live[addr] = rounded
+
+    @precondition(lambda self: self.live)
+    @rule(data=st.data())
+    def free(self, data):
+        addr = data.draw(st.sampled_from(sorted(self.live)))
+        self.heap.free(addr)
+        del self.live[addr]
+
+    @invariant()
+    def invariants_hold(self):
+        self.heap.check_invariants()
+        assert self.heap.live_allocations == len(self.live)
+
+
+TestHeapStateMachine = HeapMachine.TestCase
+TestHeapStateMachine.settings = settings(
+    max_examples=25, stateful_step_count=50, deadline=None)

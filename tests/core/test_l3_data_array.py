@@ -1,0 +1,123 @@
+"""L3 data-array behaviour: fills, partial lines, victim writebacks."""
+
+import pytest
+
+from repro import Policy
+from repro.mem.address import FULL_WORD_MASK
+from repro.types import MessageType
+
+from tests.conftest import make_machine
+
+INC = 0x4000_0000
+
+
+@pytest.fixture
+def machine():
+    return make_machine(Policy.swcc())
+
+
+def fill_values(ms, line, values):
+    for word, value in enumerate(values):
+        ms.backing.write_word_addr((line << 5) + 4 * word, value)
+
+
+class TestFills:
+    def test_read_miss_fills_from_backing(self, machine):
+        ms = machine.memsys
+        line = INC >> 5
+        fill_values(ms, line, [10, 11, 12, 13, 14, 15, 16, 17])
+        t, entry = ms._l3_access(0, line, 0.0)
+        assert entry.fully_valid
+        assert entry.data == [10, 11, 12, 13, 14, 15, 16, 17]
+        assert t >= ms.dram.latency
+
+    def test_second_access_is_an_l3_hit(self, machine):
+        ms = machine.memsys
+        line = INC >> 5
+        ms._l3_access(0, line, 0.0)
+        before = ms.dram.total_accesses
+        t0 = 10_000.0
+        t, _entry = ms._l3_access(0, line, t0)
+        assert ms.dram.total_accesses == before
+        assert t - t0 < ms.dram.latency
+
+    def test_write_without_fetch_creates_partial_line(self, machine):
+        ms = machine.memsys
+        line = INC >> 5
+        t, entry = ms._l3_access(0, line, 0.0, write_mask=0b0011,
+                                 write_values=[1, 2, 0, 0, 0, 0, 0, 0],
+                                 need_data=False)
+        assert entry.valid_mask == 0b0011
+        assert entry.dirty_mask == 0b0011
+        assert t < ms.dram.latency  # no fill happened
+
+    def test_partial_line_read_merges_from_memory(self, machine):
+        ms = machine.memsys
+        line = INC >> 5
+        fill_values(ms, line, [100] * 8)
+        ms._l3_access(0, line, 0.0, write_mask=0b0001,
+                      write_values=[55, 0, 0, 0, 0, 0, 0, 0],
+                      need_data=False)
+        _t, entry = ms._l3_access(0, line, 1000.0)  # full read
+        assert entry.fully_valid
+        assert entry.data[0] == 55     # dirty word preserved
+        assert entry.data[1] == 100    # missing words fetched
+
+    def test_victim_dirty_words_reach_backing(self, machine):
+        ms = machine.memsys
+        bank_cache = ms.l3[0]
+        # fill one set completely with dirty partial lines, then overflow
+        n_ways = bank_cache.assoc
+        lines = [(INC >> 5) + i * bank_cache.n_sets for i in range(n_ways + 1)]
+        for i, line in enumerate(lines):
+            ms._l3_access(0, line, 100.0 * i, write_mask=0b1,
+                          write_values=[1000 + i] + [0] * 7, need_data=False)
+        evicted = [line for line in lines if bank_cache.peek(line) is None]
+        assert evicted
+        for line in evicted:
+            assert ms.backing.read_line_word(line, 0) >= 1000
+
+
+class TestAtomicDataPath:
+    def test_atomic_on_uncached_line(self, machine):
+        ms = machine.memsys
+        addr = INC + 0x100
+        ms.backing.write_word_addr(addr, 41)
+        _t, old = ms.atomic(0, addr, lambda a, b: a + b, 1, 0.0)
+        assert old == 41
+        # the updated value lives in the L3 (dirty), visible to reads
+        reply = ms.read_line(1, addr >> 5, 10_000.0)
+        assert reply.data[(addr >> 2) & 7] == 42
+
+    def test_atomic_value_survives_l3_eviction(self, machine):
+        ms = machine.memsys
+        addr = INC + 0x200
+        ms.atomic(0, addr, lambda a, b: a + b, 7, 0.0)
+        machine.drain_caches()
+        assert ms.backing.read_word_addr(addr) == 7
+
+
+class TestFlushMergeSemantics:
+    def test_three_writers_disjoint_words_all_merge(self, machine):
+        ms = machine.memsys
+        line = (INC + 0x400) >> 5
+        masks_values = [
+            (0b0000_0011, [1, 2, 0, 0, 0, 0, 0, 0]),
+            (0b0000_1100, [0, 0, 3, 4, 0, 0, 0, 0]),
+            (0b1111_0000, [0, 0, 0, 0, 5, 6, 7, 8]),
+        ]
+        for cluster_id, (mask, values) in enumerate(masks_values):
+            ms.writeback(cluster_id % 2, line, mask, values, 100.0 * cluster_id,
+                         MessageType.SOFTWARE_FLUSH, incoherent=True)
+        reply = ms.read_line(0, line, 10_000.0)
+        assert reply.data == [1, 2, 3, 4, 5, 6, 7, 8]
+
+    def test_later_flush_of_same_word_wins(self, machine):
+        ms = machine.memsys
+        line = (INC + 0x500) >> 5
+        ms.writeback(0, line, 0b1, [10, 0, 0, 0, 0, 0, 0, 0], 0.0,
+                     MessageType.SOFTWARE_FLUSH, incoherent=True)
+        ms.writeback(1, line, 0b1, [20, 0, 0, 0, 0, 0, 0, 0], 50.0,
+                     MessageType.SOFTWARE_FLUSH, incoherent=True)
+        reply = ms.read_line(0, line, 10_000.0)
+        assert reply.data[0] == 20

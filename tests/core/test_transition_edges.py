@@ -1,0 +1,106 @@
+"""Transition-protocol edge cases beyond the Figure 7 basics."""
+
+import pytest
+
+from repro import Machine, MachineConfig, Policy
+from repro.types import DirectoryKind, Domain
+
+from tests.conftest import make_machine
+
+INC = 0x4000_0000
+HEAP = 0x2100_0000
+
+
+@pytest.fixture
+def machine():
+    return make_machine(Policy.cohesion())
+
+
+class TestTransitionsUnderRealisticDirectories:
+    def test_to_hwcc_under_dir4b_with_many_holders(self):
+        """A SWcc line clean in >4 L2s becomes a broadcast-mode entry."""
+        config = MachineConfig(track_data=True).scaled(8)
+        policy = Policy.cohesion(entries_per_bank=4096, assoc=64,
+                                 directory=DirectoryKind.DIR4B)
+        machine = Machine(config, policy)
+        line = INC >> 5
+        for cid in range(6):
+            machine.clusters[cid].load(0, INC, 100.0 * cid)
+        machine.memsys.transitions.to_hwcc(line, 0, 10_000.0)
+        entry = machine.memsys.directory_of(line).get(line)
+        assert entry is not None
+        assert entry.n_sharers == 6
+        assert entry.broadcast  # 6 > 4 pointers
+
+    def test_to_hwcc_can_force_directory_eviction(self):
+        """Allocating the transition's entry can evict another entry,
+        whose sharers must be invalidated mid-transition."""
+        machine = make_machine(
+            Policy.cohesion(entries_per_bank=2, assoc=2))
+        ms = machine.memsys
+        # occupy the tiny directory with coherent-heap lines
+        machine.clusters[0].load(0, HEAP, 0.0)
+        machine.clusters[0].load(0, HEAP + 32, 10.0)
+        assert ms.total_directory_entries() == 2
+        # a SWcc line held clean transitions in, forcing an eviction
+        machine.clusters[1].load(0, INC, 20.0)
+        ms.transitions.to_hwcc(INC >> 5, 0, 1000.0)
+        assert ms.total_directory_entries() <= 2
+        entry = ms.directory_of(INC >> 5).get(INC >> 5)
+        assert entry is not None and entry.sharer_ids() == [1]
+
+
+class TestRepeatedAndConcurrentConversions:
+    def test_round_trip_preserves_value_every_time(self, machine):
+        ms = machine.memsys
+        addr = INC + 0x40
+        line = addr >> 5
+        machine.clusters[0].store(0, addr, 1234, 0.0)
+        machine.clusters[0].flush_line(0, line, 10.0)
+        t = 1000.0
+        for _round in range(4):
+            t = ms.transitions.to_hwcc(line, 0, t)
+            t = ms.transitions.to_swcc(line, 1, t)
+        reply = ms.read_line(0, line, t + 100.0)
+        assert reply.incoherent and reply.data[0] == 1234
+
+    def test_interleaved_region_conversions_disjoint_ranges(self, machine):
+        ms = machine.memsys
+        a, b = INC, INC + 0x1000
+        ms.transitions.convert_region(a, 0x400, Domain.HWCC, 0, 0.0)
+        ms.transitions.convert_region(b, 0x400, Domain.HWCC, 1, 0.0)
+        ms.transitions.convert_region(a, 0x400, Domain.SWCC, 1, 1e5)
+        for line in range(a >> 5, (a + 0x400) >> 5):
+            assert ms.fine.is_swcc(line)
+        for line in range(b >> 5, (b + 0x400) >> 5):
+            assert not ms.fine.is_swcc(line)
+
+    def test_transition_of_dirty_line_mid_use(self, machine):
+        """A writer's in-flight SWcc dirty data survives HWcc conversion
+        as the single-owner upgrade, then flows through HWcc probes."""
+        ms = machine.memsys
+        addr = INC + 0x80
+        line = addr >> 5
+        machine.clusters[0].store(0, addr, 7, 0.0)       # unflushed SWcc
+        ms.transitions.to_hwcc(line, 1, 1000.0)           # upgrade in place
+        _t, seen = machine.clusters[1].load(0, addr, 2000.0)
+        assert seen == 7                                  # pulled via HWcc
+
+
+class TestCoarseRegionInteraction:
+    def test_fine_bit_irrelevant_inside_coarse_region(self, machine):
+        """Coarse regions resolve before the fine table, so stacks stay
+        SWcc regardless of stray fine-table bits."""
+        ms = machine.memsys
+        stack_line = machine.layout.stack_base >> 5
+        ms.fine.clear_swcc(stack_line)  # stray bit: would mean HWcc
+        reply = ms.read_line(0, stack_line, 0.0)
+        assert reply.incoherent
+
+    def test_transitioning_heap_does_not_touch_neighbours(self, machine):
+        ms = machine.memsys
+        base = INC + 0x2000
+        ms.transitions.convert_region(base + 32, 32, Domain.HWCC, 0, 0.0)
+        assert ms.fine.is_swcc(base >> 5)
+        assert not ms.fine.is_swcc((base + 32) >> 5)
+        assert ms.fine.is_swcc((base + 64) >> 5)

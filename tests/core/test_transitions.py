@@ -1,0 +1,235 @@
+"""Coherence-domain transitions (Figure 7, Section 3.6)."""
+
+import pytest
+
+from repro import Policy
+from repro.coherence.directory import DIR_M, DIR_S
+from repro.errors import CoherenceRaceError, ProtocolError
+from repro.types import Domain
+
+from tests.conftest import make_machine
+
+COHERENT_HEAP = 0x2000_0000
+INCOHERENT_HEAP = 0x4000_0000
+
+
+def line_of(addr):
+    return addr >> 5
+
+
+@pytest.fixture
+def machine():
+    return make_machine(Policy.cohesion())
+
+
+def hwcc_line(machine):
+    """A coherent-heap line (HWcc by default under Cohesion)."""
+    return line_of(COHERENT_HEAP)
+
+
+def swcc_line(machine):
+    """An incoherent-heap line (SWcc by default under Cohesion)."""
+    return line_of(INCOHERENT_HEAP)
+
+
+class TestHwccToSwcc:
+    """Figure 7a."""
+
+    def test_case_1a_untracked_line(self, machine):
+        """No directory entry: just set the table bit."""
+        ms = machine.memsys
+        line = hwcc_line(machine)
+        before = ms.counters.probe_response
+        ms.transitions.to_swcc(line, 0, 0.0)
+        assert ms.fine.is_swcc(line)
+        assert ms.counters.probe_response == before  # no probes needed
+        # subsequent accesses resolve SWcc
+        assert ms.read_line(0, line, 100.0).incoherent
+
+    def test_case_2a_shared_line_invalidated(self, machine):
+        ms = machine.memsys
+        addr = COHERENT_HEAP
+        line = hwcc_line(machine)
+        machine.clusters[0].load(0, addr, 0.0)
+        machine.clusters[1].load(0, addr, 0.0)
+        before = ms.counters.probe_response
+        ms.transitions.to_swcc(line, 0, 50.0)
+        assert ms.counters.probe_response == before + 2
+        assert ms.directory_of(line).get(line) is None
+        assert machine.clusters[0].l2.peek(line) is None
+        assert machine.clusters[1].l2.peek(line) is None
+        assert ms.fine.is_swcc(line)
+
+    def test_case_3a_modified_line_written_back(self, machine):
+        ms = machine.memsys
+        addr = COHERENT_HEAP
+        line = hwcc_line(machine)
+        machine.clusters[1].store(0, addr, 1234, 0.0)
+        ms.transitions.to_swcc(line, 0, 50.0)
+        # line is in no L2 and the L3/memory holds the current value
+        assert machine.clusters[1].l2.peek(line) is None
+        assert ms.read_line(0, line, 100.0).data[0] == 1234
+
+    def test_table_update_is_an_uncached_atomic(self, machine):
+        ms = machine.memsys
+        before = ms.counters.uncached_atomic
+        ms.transitions.to_swcc(hwcc_line(machine), 0, 0.0)
+        assert ms.counters.uncached_atomic == before + 1
+
+
+class TestSwccToHwcc:
+    """Figure 7b."""
+
+    def test_case_1b_held_nowhere(self, machine):
+        ms = machine.memsys
+        line = swcc_line(machine)
+        before = ms.counters.probe_response
+        ms.transitions.to_hwcc(line, 0, 0.0)
+        # broadcast clean request: every cluster acks/nacks
+        assert ms.counters.probe_response == before + machine.config.n_clusters
+        assert not ms.fine.is_swcc(line)
+        assert ms.directory_of(line).get(line) is None  # stays I
+        # subsequent accesses are hardware-coherent
+        assert not ms.read_line(0, line, 100.0).incoherent
+
+    def test_case_2b_clean_holders_become_sharers(self, machine):
+        ms = machine.memsys
+        addr = INCOHERENT_HEAP
+        line = swcc_line(machine)
+        machine.clusters[0].load(0, addr, 0.0)
+        machine.clusters[1].load(0, addr, 0.0)
+        ms.transitions.to_hwcc(line, 0, 50.0)
+        entry = ms.directory_of(line).get(line)
+        assert entry is not None and entry.state == DIR_S
+        assert sorted(entry.sharer_ids()) == [0, 1]
+        for cluster in machine.clusters:
+            held = cluster.l2.peek(line)
+            assert held is not None and not held.incoherent  # retained
+
+    def test_single_dirty_upgraded_in_place_no_writeback(self, machine):
+        ms = machine.memsys
+        addr = INCOHERENT_HEAP
+        line = swcc_line(machine)
+        machine.clusters[1].store(0, addr, 55, 0.0)
+        flushes_before = ms.counters.software_flush
+        evictions_before = ms.counters.cache_eviction
+        ms.transitions.to_hwcc(line, 0, 50.0)
+        entry = ms.directory_of(line).get(line)
+        assert entry.state == DIR_M and entry.owner() == 1
+        held = machine.clusters[1].l2.peek(line)
+        assert held is not None and not held.incoherent
+        assert held.dirty_mask  # still dirty: no writeback occurred
+        assert ms.counters.software_flush == flushes_before
+        assert ms.counters.cache_eviction == evictions_before
+
+    def test_dirty_with_readers_all_removed(self, machine):
+        ms = machine.memsys
+        addr = INCOHERENT_HEAP
+        line = swcc_line(machine)
+        machine.clusters[0].load(0, addr, 0.0)       # clean reader
+        machine.clusters[1].store(0, addr, 99, 0.0)  # dirty writer
+        ms.transitions.to_hwcc(line, 0, 50.0)
+        assert machine.clusters[0].l2.peek(line) is None
+        assert machine.clusters[1].l2.peek(line) is None
+        assert ms.directory_of(line).get(line) is None
+        # the L3 holds the most recent copy
+        assert ms.read_line(0, line, 200.0).data[0] == 99
+
+    def test_multiple_disjoint_writers_merged(self, machine):
+        """Per-word dirty bits let the L3 merge disjoint write sets."""
+        ms = machine.memsys
+        addr = INCOHERENT_HEAP
+        line = swcc_line(machine)
+        machine.clusters[0].store(0, addr, 111, 0.0)       # word 0
+        machine.clusters[1].store(0, addr + 4, 222, 0.0)   # word 1
+        ms.transitions.to_hwcc(line, 0, 50.0)
+        reply = ms.read_line(0, line, 200.0)
+        assert reply.data[0] == 111 and reply.data[1] == 222
+
+    def test_case_5b_overlapping_writers_raise(self, machine):
+        ms = machine.memsys
+        addr = INCOHERENT_HEAP
+        line = swcc_line(machine)
+        machine.clusters[0].store(0, addr, 1, 0.0)
+        machine.clusters[1].store(0, addr, 2, 0.0)  # same word: a race
+        with pytest.raises(CoherenceRaceError) as info:
+            ms.transitions.to_hwcc(line, 0, 50.0)
+        assert info.value.line_addr == line
+        assert sorted(info.value.clusters) == [0, 1]
+        assert info.value.overlap_mask == 0b1
+        assert ms.swcc_races == 1
+
+    def test_case_5b_recovery_discards_dirty_values(self):
+        """Without the exception, all dirty copies are thrown away."""
+        machine = make_machine(
+            Policy(kind=Policy.cohesion().kind, raise_on_swcc_race=False))
+        ms = machine.memsys
+        addr = INCOHERENT_HEAP
+        line = line_of(addr)
+        ms.backing.write_word_addr(addr, 7777)  # prior globally visible value
+        machine.clusters[0].store(0, addr, 1, 100.0)
+        machine.clusters[1].store(0, addr, 2, 100.0)
+        ms.transitions.to_hwcc(line, 0, 500.0)
+        assert ms.swcc_races == 1
+        assert machine.clusters[0].l2.peek(line) is None
+        assert machine.clusters[1].l2.peek(line) is None
+        value = ms.read_line(0, line, 1000.0).data[0]
+        assert value == 7777  # racing values discarded
+
+
+class TestTransitionLineAndRegions:
+    def test_transition_line_skips_same_domain(self, machine):
+        ms = machine.memsys
+        line = swcc_line(machine)
+        before = ms.counters.uncached_atomic
+        ms.transitions.transition_line(line, Domain.SWCC, 0, 0.0)
+        assert ms.counters.uncached_atomic == before  # already SWcc
+
+    def test_transition_line_round_trip(self, machine):
+        ms = machine.memsys
+        line = swcc_line(machine)
+        ms.transitions.transition_line(line, Domain.HWCC, 0, 0.0)
+        assert not ms.fine.is_swcc(line)
+        ms.transitions.transition_line(line, Domain.SWCC, 0, 100.0)
+        assert ms.fine.is_swcc(line)
+
+    def test_convert_region_covers_every_line(self, machine):
+        ms = machine.memsys
+        base = INCOHERENT_HEAP + 0x1000
+        size = 24 * 32  # 24 lines
+        ms.transitions.convert_region(base, size, Domain.HWCC, 0, 0.0)
+        for line in range(base >> 5, (base + size) >> 5):
+            assert not ms.fine.is_swcc(line)
+
+    def test_convert_region_batches_table_atomics(self, machine):
+        """One atom.or covers the 32 line bits of one table word."""
+        ms = machine.memsys
+        base = INCOHERENT_HEAP + 0x8000
+        before = ms.counters.uncached_atomic
+        ms.transitions.convert_region(base, 32 * 32, Domain.HWCC, 0, 0.0)
+        atomics = ms.counters.uncached_atomic - before
+        assert atomics == 1  # 32 aligned lines share one table word
+
+    def test_counts(self, machine):
+        ms = machine.memsys
+        line = swcc_line(machine)
+        ms.transitions.to_hwcc(line, 0, 0.0)
+        ms.transitions.to_swcc(line, 0, 100.0)
+        assert ms.transitions.to_hwcc_count == 1
+        assert ms.transitions.to_swcc_count == 1
+
+    def test_transitions_require_cohesion(self):
+        machine = make_machine(Policy.hwcc_ideal())
+        with pytest.raises(ProtocolError):
+            machine.memsys.transitions.to_swcc(1, 0, 0.0)
+
+    def test_transition_serialises_with_accesses(self, machine):
+        """A transition acknowledges only after the line is consistent."""
+        ms = machine.memsys
+        addr = COHERENT_HEAP
+        line = line_of(addr)
+        machine.clusters[1].store(0, addr, 42, 0.0)
+        done = ms.transitions.to_swcc(line, 0, 10.0)
+        reply = ms.read_line(0, line, done)
+        assert reply.incoherent
+        assert reply.data[0] == 42

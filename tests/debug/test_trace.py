@@ -1,0 +1,129 @@
+"""Line tracer."""
+
+import pytest
+
+from repro import Policy, get_workload
+from repro.debug import LineTracer, TraceEvent
+
+from tests.conftest import make_machine
+
+HEAP = 0x2000_0000
+INC = 0x4000_0000
+
+
+@pytest.fixture
+def machine():
+    return make_machine(Policy.cohesion())
+
+
+class TestRecording:
+    def test_load_store_recorded(self, machine):
+        line = HEAP >> 5
+        with LineTracer(watch={line}).attach(machine) as tracer:
+            machine.clusters[0].store(2, HEAP, 42, 0.0)
+            machine.clusters[1].load(3, HEAP + 4, 100.0)
+        kinds = [e.kind for e in tracer.events]
+        # the cross-cluster load triggers (and the tracer captures) the
+        # M -> S downgrade probe to the owner
+        assert kinds == ["store", "probe_down", "load"]
+        store = tracer.events[0]
+        assert store.cluster == 0 and store.core == 2
+        assert store.value == 42 and store.addr == HEAP
+
+    def test_unwatched_lines_ignored(self, machine):
+        with LineTracer(watch={123}).attach(machine) as tracer:
+            machine.clusters[0].load(0, HEAP, 0.0)
+        assert len(tracer) == 0
+
+    def test_watch_all_mode(self, machine):
+        with LineTracer().attach(machine) as tracer:
+            machine.clusters[0].load(0, HEAP, 0.0)
+            machine.clusters[0].load(0, INC, 10.0)
+        assert len(tracer) == 2
+
+    def test_watch_region(self, machine):
+        tracer = LineTracer(watch=set())
+        tracer.watch_region(HEAP, 128)
+        assert (HEAP >> 5) in tracer.watch
+        assert (HEAP + 127) >> 5 in tracer.watch
+
+    def test_flush_and_inv_recorded(self, machine):
+        line = INC >> 5
+        with LineTracer(watch={line}).attach(machine) as tracer:
+            machine.clusters[0].store(0, INC, 1, 0.0)
+            machine.clusters[0].flush_line(0, line, 10.0)
+            machine.clusters[0].invalidate_line(0, line, 20.0)
+        kinds = [e.kind for e in tracer.events]
+        assert kinds == ["store", "flush", "inv"]
+
+    def test_probes_recorded(self, machine):
+        line = HEAP >> 5
+        machine.clusters[0].store(0, HEAP, 5, 0.0)
+        with LineTracer(watch={line}).attach(machine) as tracer:
+            machine.clusters[1].load(0, HEAP, 100.0)  # downgrades owner
+        kinds = {e.kind for e in tracer.events}
+        assert "probe_down" in kinds and "load" in kinds
+
+    def test_transitions_recorded(self, machine):
+        line = INC >> 5
+        with LineTracer(watch={line}).attach(machine) as tracer:
+            machine.api.coh_HWcc_region(INC, 32)
+        assert [e.kind for e in tracer.events] == ["to_hwcc"]
+
+    def test_atomic_recorded_with_old_value(self, machine):
+        line = HEAP >> 5
+        machine.memsys.backing.write_word_addr(HEAP, 7)
+        with LineTracer(watch={line}).attach(machine) as tracer:
+            machine.clusters[0].atomic(0, HEAP, lambda a, b: a + b, 3, 0.0)
+        assert tracer.events[0].kind == "atomic"
+        assert tracer.events[0].value == 7
+
+
+class TestLifecycle:
+    def test_detach_restores_behaviour(self, machine):
+        tracer = LineTracer().attach(machine)
+        tracer.detach()
+        machine.clusters[0].load(0, HEAP, 0.0)
+        assert len(tracer) == 0
+
+    def test_double_attach_rejected(self, machine):
+        tracer = LineTracer().attach(machine)
+        with pytest.raises(RuntimeError):
+            tracer.attach(machine)
+        tracer.detach()
+
+    def test_max_events_drops(self, machine):
+        with LineTracer(max_events=3).attach(machine) as tracer:
+            for i in range(6):
+                machine.clusters[0].load(0, HEAP + 64 * i, 10.0 * i)
+        assert len(tracer) == 3
+        assert tracer.dropped == 3
+        assert "dropped" in tracer.format()
+
+    def test_full_run_traceable(self, machine):
+        program = get_workload("gjk", scale=0.1).build(machine)
+        with LineTracer().attach(machine) as tracer:
+            stats = machine.run(program)
+        assert stats.load_mismatches == []
+        assert len(tracer) > 100
+
+
+class TestFormatting:
+    def test_format_is_chronological(self, machine):
+        with LineTracer().attach(machine) as tracer:
+            machine.clusters[0].load(0, HEAP, 500.0)
+            machine.clusters[0].load(0, HEAP + 64, 100.0)
+        lines = tracer.format().splitlines()
+        assert "100.0" in lines[0] and "500.0" in lines[1]
+
+    def test_events_for_filters(self, machine):
+        with LineTracer().attach(machine) as tracer:
+            machine.clusters[0].load(0, HEAP, 0.0)
+            machine.clusters[0].load(0, HEAP + 64, 1.0)
+        assert len(tracer.events_for(HEAP >> 5)) == 1
+
+    def test_event_str(self):
+        event = TraceEvent(12.5, "store", 1, 3, 0x100, addr=0x2000,
+                           value=9, detail="x")
+        text = str(event)
+        assert "store" in text and "cluster 1.3" in text and "value=9" in text

@@ -1,0 +1,72 @@
+"""Functional backing store."""
+
+from hypothesis import given, strategies as st
+
+from repro.mem.backing import BackingStore, NullBackingStore
+
+
+class TestBackingStore:
+    def test_unwritten_reads_zero(self):
+        store = BackingStore()
+        assert store.read_word_addr(0x1234) == 0
+        assert store.read_line(7) == [0] * 8
+
+    def test_word_roundtrip(self):
+        store = BackingStore()
+        store.write_word_addr(0x100, 99)
+        assert store.read_word_addr(0x100) == 99
+        assert store.read_word_addr(0x103) == 99  # same word
+        assert store.read_word_addr(0x104) == 0
+
+    def test_line_write_respects_mask(self):
+        store = BackingStore()
+        store.write_line(2, [1, 2, 3, 4, 5, 6, 7, 8], mask=0b0000_0101)
+        assert store.read_line(2) == [1, 0, 3, 0, 0, 0, 0, 0]
+
+    def test_line_word_addressing_consistent(self):
+        store = BackingStore()
+        store.write_line(3, list(range(8)), mask=0xFF)
+        for w in range(8):
+            assert store.read_line_word(3, w) == w
+            assert store.read_word_addr(3 * 32 + 4 * w) == w
+
+    def test_atomic_rmw_returns_old(self):
+        store = BackingStore()
+        store.write_word_addr(0x40, 10)
+        old = store.atomic_rmw(0x40, lambda a, b: a + b, 5)
+        assert old == 10
+        assert store.read_word_addr(0x40) == 15
+
+    def test_atomic_rmw_wraps_32bit(self):
+        store = BackingStore()
+        store.write_word_addr(0, 0xFFFFFFFF)
+        store.atomic_rmw(0, lambda a, b: a + b, 1)
+        assert store.read_word_addr(0) == 0
+
+    def test_len_counts_words(self):
+        store = BackingStore()
+        store.write_word_addr(0, 1)
+        store.write_word_addr(4, 1)
+        store.write_word_addr(0, 2)
+        assert len(store) == 2
+
+    @given(st.dictionaries(st.integers(0, 1000), st.integers(0, 2**32 - 1),
+                           max_size=50))
+    def test_last_write_wins(self, writes):
+        store = BackingStore()
+        for word, value in writes.items():
+            store.write_word_addr(word * 4, value)
+        for word, value in writes.items():
+            assert store.read_word_addr(word * 4) == value
+
+
+class TestNullBackingStore:
+    def test_all_reads_zero(self):
+        store = NullBackingStore()
+        store.write_word_addr(0, 42)
+        store.write_line(1, [1] * 8, 0xFF)
+        assert store.read_word_addr(0) == 0
+        assert store.read_line(1) is None
+        assert store.read_line_word(1, 0) == 0
+        assert store.atomic_rmw(0, lambda a, b: a + b, 1) == 0
+        assert len(store) == 0

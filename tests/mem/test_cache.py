@@ -1,0 +1,168 @@
+"""Set-associative cache with per-word valid/dirty masks."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.mem.address import FULL_WORD_MASK
+from repro.mem.cache import Cache, CacheLine
+
+
+class TestCacheLine:
+    def test_defaults_fully_valid_clean(self):
+        line = CacheLine(5)
+        assert line.fully_valid
+        assert not line.dirty
+
+    def test_write_word_sets_masks(self):
+        line = CacheLine(5, valid_mask=0)
+        line.write_word(3)
+        assert line.valid_mask == 0b1000
+        assert line.dirty_mask == 0b1000
+        assert line.dirty
+
+    def test_write_word_stores_value_when_tracked(self):
+        line = CacheLine(5, data=[0] * 8)
+        line.write_word(2, 42)
+        assert line.read_word(2) == 42
+
+    def test_read_word_untracked_returns_none(self):
+        line = CacheLine(5)
+        assert line.read_word(0) is None
+
+    def test_clean_clears_dirty_only(self):
+        line = CacheLine(5, valid_mask=0xFF, dirty_mask=0x0F)
+        line.clean()
+        assert line.dirty_mask == 0
+        assert line.valid_mask == 0xFF
+
+
+class TestCacheBasics:
+    def test_geometry_validation(self):
+        with pytest.raises(ValueError):
+            Cache(10, 4)
+        with pytest.raises(ValueError):
+            Cache(0, 1)
+
+    def test_miss_then_hit(self):
+        cache = Cache(16, 2)
+        assert cache.lookup(7) is None
+        cache.allocate(7)
+        assert cache.lookup(7) is not None
+        assert cache.hits == 1
+        assert cache.misses == 1
+
+    def test_peek_does_not_count(self):
+        cache = Cache(16, 2)
+        cache.allocate(7)
+        cache.peek(7)
+        cache.peek(8)
+        assert cache.hits == 0
+        assert cache.misses == 0
+
+    def test_contains_and_len(self):
+        cache = Cache(16, 2)
+        cache.allocate(1)
+        cache.allocate(2)
+        assert 1 in cache and 2 in cache and 3 not in cache
+        assert len(cache) == 2
+
+    def test_remove(self):
+        cache = Cache(16, 2)
+        cache.allocate(1)
+        entry = cache.remove(1)
+        assert entry.line == 1
+        assert 1 not in cache
+        assert cache.remove(1) is None
+
+    def test_same_set_eviction_lru(self):
+        cache = Cache(16, 2)  # 8 sets
+        a, b, c = 3, 3 + 8, 3 + 16  # all map to set 3
+        cache.allocate(a)
+        cache.allocate(b)
+        cache.lookup(a)            # refresh a; b becomes LRU
+        entry, victim = cache.allocate(c)
+        assert victim is not None and victim.line == b
+        assert a in cache and c in cache and b not in cache
+        assert cache.evictions == 1
+
+    def test_allocate_existing_merges_masks(self):
+        cache = Cache(16, 2)
+        cache.allocate(1, valid_mask=0b0001, dirty_mask=0b0001, incoherent=True)
+        entry, victim = cache.allocate(1, valid_mask=0b0010, incoherent=True)
+        assert victim is None
+        assert entry.valid_mask == 0b0011
+        assert entry.dirty_mask == 0b0001
+
+    def test_different_sets_do_not_conflict(self):
+        cache = Cache(16, 2)
+        for line in range(8):  # one per set
+            _entry, victim = cache.allocate(line)
+            assert victim is None
+        assert len(cache) == 8
+
+    def test_invalidate_where(self):
+        cache = Cache(16, 2)
+        cache.allocate(1, incoherent=True)
+        cache.allocate(2, incoherent=False)
+        cache.allocate(3, incoherent=True)
+        removed = cache.invalidate_where(lambda e: e.incoherent)
+        assert sorted(e.line for e in removed) == [1, 3]
+        assert len(cache) == 1
+
+    def test_track_data_allocates_storage(self):
+        cache = Cache(16, 2, track_data=True)
+        entry, _ = cache.allocate(1)
+        assert entry.data == [0] * 8
+
+    def test_capacity_property(self):
+        assert Cache(2048, 16).capacity_lines == 2048
+
+    def test_lines_iterates_all(self):
+        cache = Cache(16, 2)
+        for line in (1, 9, 4):
+            cache.allocate(line)
+        assert sorted(e.line for e in cache.lines()) == [1, 4, 9]
+
+
+class TestCacheModelBased:
+    """LRU cache behaviour against a reference model."""
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=40), min_size=1,
+                    max_size=200))
+    def test_never_exceeds_capacity_and_keeps_mru(self, accesses):
+        cache = Cache(8, 2)  # 4 sets x 2 ways
+        last_access = {}
+        for tick, line in enumerate(accesses):
+            if cache.lookup(line) is None:
+                cache.allocate(line)
+            last_access[line] = tick
+        assert len(cache) <= 8
+        for set_index in range(cache.n_sets):
+            assert len(cache.sets[set_index]) <= cache.assoc
+        # the most recently accessed line must still be resident
+        mru = accesses[-1]
+        assert mru in cache
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.tuples(st.integers(0, 20), st.integers(0, 7)),
+                    min_size=1, max_size=100))
+    def test_dirty_words_survive_until_eviction(self, writes):
+        cache = Cache(64, 4, track_data=True)
+        shadow = {}
+        evicted = set()
+        for line, word in writes:
+            entry = cache.peek(line)
+            if entry is None:
+                entry, victim = cache.allocate(line, valid_mask=0)
+                if victim is not None:
+                    evicted.add(victim.line)
+                    for w in range(8):
+                        if victim.dirty_mask & (1 << w):
+                            shadow.pop((victim.line, w), None)
+            entry.write_word(word, line * 8 + word)
+            shadow[(line, word)] = line * 8 + word
+        for (line, word), value in shadow.items():
+            entry = cache.peek(line)
+            if entry is not None:
+                assert entry.read_word(word) == value

@@ -1,0 +1,89 @@
+"""Executor-injected overheads: stacks, descriptors, code fetches."""
+
+import pytest
+
+from repro import Policy
+from repro.runtime.program import Phase, Program, Task
+from repro.types import OP_COMPUTE, SegmentClass
+
+from tests.conftest import make_machine
+
+
+def quiet_program(n_tasks, stack_words=8, phases=1, code_lines=2):
+    return Program("quiet", [
+        Phase(f"p{p}", [Task(ops=[(OP_COMPUTE, 5)], stack_words=stack_words)
+                        for _ in range(n_tasks)],
+              code_addr=0x10000, code_lines=code_lines)
+        for p in range(phases)])
+
+
+class TestStackInjection:
+    def test_stack_traffic_is_private_per_core(self, hwcc_machine):
+        machine = hwcc_machine
+        machine.run(quiet_program(machine.config.n_cores * 2))
+        layout = machine.layout
+        ms = machine.memsys
+        for bank_dir in ms.dirs:
+            for entry in bank_dir.entries():
+                if layout.classify_line(entry.line) is SegmentClass.STACK:
+                    assert entry.n_sharers == 1  # stacks never shared
+
+    def test_stack_cursor_wraps_within_stack(self, hwcc_machine):
+        machine = hwcc_machine
+        layout = machine.layout
+        # enough tasks on few cores that cursors wrap the 4 KB stacks
+        machine.run(quiet_program(machine.config.n_cores * 40,
+                                  stack_words=32))
+        for core in range(machine.config.n_cores):
+            base, size = layout.stack_region(core)
+            cluster, _local = machine.cluster_of_core(core)
+            for entry in cluster.l2.lines():
+                addr = entry.line << 5
+                if layout.classify(addr) is SegmentClass.STACK:
+                    owner = (addr - layout.stack_base) // layout.stack_bytes_per_core
+                    assert 0 <= owner < machine.config.n_cores
+
+    def test_zero_stack_words_skips_injection(self, hwcc_machine):
+        machine = hwcc_machine
+        machine.run(quiet_program(4, stack_words=0))
+        layout = machine.layout
+        stack_lines = [e for c in machine.clusters for e in c.l2.lines()
+                       if layout.classify_line(e.line) is SegmentClass.STACK]
+        assert stack_lines == []
+
+
+class TestDescriptorInjection:
+    def test_descriptor_reads_are_shared_heap_lines(self, hwcc_machine):
+        machine = hwcc_machine
+        stats = machine.run(quiet_program(machine.config.n_cores * 4))
+        # descriptor loads contribute read requests even though the
+        # tasks themselves touch no data
+        assert stats.messages.read_request > 0
+
+    def test_descriptor_array_wraps(self):
+        from repro.runtime.system import DESC_CAPACITY
+        machine = make_machine(Policy.hwcc_ideal())
+        runtime = machine.runtime
+        assert runtime.desc_capacity == DESC_CAPACITY
+        # index beyond capacity maps back into the array in the executor
+        from repro.runtime.executor import BspExecutor
+        program = quiet_program(2)
+        executor = BspExecutor(machine, program)
+        big_index = DESC_CAPACITY + 3
+        cluster = machine.clusters[0]
+        t = executor._dequeue(cluster, 0, 0, big_index, 0.0)
+        assert t > 0.0
+
+
+class TestCodeInjection:
+    def test_code_lines_fetched_once_per_core(self, hwcc_machine):
+        machine = hwcc_machine
+        stats = machine.run(quiet_program(machine.config.n_cores * 4,
+                                          code_lines=4))
+        # with warm L1Is, instruction requests stay near the cold
+        # footprint: clusters x code lines (plus a little L2 churn)
+        assert 0 < stats.messages.instruction_request <= 4 * len(machine.clusters) * 4
+
+    def test_zero_code_lines(self, hwcc_machine):
+        stats = hwcc_machine.run(quiet_program(4, code_lines=0))
+        assert stats.messages.instruction_request == 0

@@ -1,0 +1,74 @@
+"""Address-space layout and segment classification."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.runtime.layout import FINE_TABLE_BYTES, AddressLayout
+from repro.types import SegmentClass
+
+
+class TestLayoutGeometry:
+    def test_defaults_validate(self):
+        layout = AddressLayout()
+        assert layout.n_cores == 1024
+        assert layout.stacks_size == 1024 * 4096
+
+    def test_fine_table_is_16mb(self):
+        assert FINE_TABLE_BYTES == 16 * 1024 * 1024
+        # 1 bit per 32-byte line over 4 GB
+        assert FINE_TABLE_BYTES * 8 == (1 << 32) // 32
+
+    def test_segments_must_not_overlap(self):
+        with pytest.raises(ConfigError):
+            AddressLayout(globals_base=0x2000_0000)  # collides with heap
+
+    def test_segments_must_be_line_aligned(self):
+        with pytest.raises(ConfigError):
+            AddressLayout(code_base=0x10001)
+
+    def test_segments_must_fit_32_bits(self):
+        with pytest.raises(ConfigError):
+            AddressLayout(incoherent_heap_size=0xD000_0000)
+
+
+class TestStacks:
+    def test_stack_regions_disjoint_per_core(self):
+        layout = AddressLayout(n_cores=16)
+        regions = [layout.stack_region(core) for core in range(16)]
+        for (b0, s0), (b1, _s1) in zip(regions, regions[1:]):
+            assert b0 + s0 == b1
+
+    def test_stack_addr_bounds(self):
+        layout = AddressLayout(n_cores=4)
+        base, size = layout.stack_region(2)
+        assert layout.stack_addr(2, 0) == base
+        assert layout.stack_addr(2, size - 4) == base + size - 4
+        with pytest.raises(ConfigError):
+            layout.stack_addr(2, size)
+        with pytest.raises(ConfigError):
+            layout.stack_region(4)
+
+
+class TestClassification:
+    def test_classify_segments(self):
+        layout = AddressLayout(n_cores=8)
+        assert layout.classify(layout.code_base) is SegmentClass.CODE
+        assert layout.classify(layout.stack_base) is SegmentClass.STACK
+        assert layout.classify(layout.coherent_heap_base) is SegmentClass.HEAP_GLOBAL
+        assert layout.classify(layout.globals_base) is SegmentClass.HEAP_GLOBAL
+
+    def test_classify_line(self):
+        layout = AddressLayout(n_cores=8)
+        assert layout.classify_line(layout.stack_base >> 5) is SegmentClass.STACK
+
+    def test_stack_boundary(self):
+        layout = AddressLayout(n_cores=8)
+        end = layout.stack_base + layout.stacks_size
+        assert layout.classify(end - 1) is SegmentClass.STACK
+        assert layout.classify(end) is SegmentClass.HEAP_GLOBAL
+
+    def test_in_fine_table(self):
+        layout = AddressLayout()
+        assert layout.in_fine_table(layout.fine_table_base)
+        assert layout.in_fine_table(layout.fine_table_base + FINE_TABLE_BYTES - 1)
+        assert not layout.in_fine_table(layout.fine_table_base - 1)

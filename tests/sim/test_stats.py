@@ -1,0 +1,70 @@
+"""RunStats collection and reporting."""
+
+from repro import Policy, get_workload
+from repro.sim.stats import RunStats, collect_stats
+from repro.types import MessageType, SegmentClass
+
+from tests.conftest import make_machine
+
+
+class TestRunStats:
+    def test_defaults(self):
+        stats = RunStats()
+        assert stats.total_messages == 0
+        assert stats.cycles == 0.0
+        assert set(stats.dir_avg_by_class) == set(SegmentClass)
+        assert stats.load_mismatches == []
+
+    def test_message_breakdown_covers_all_types(self):
+        stats = RunStats()
+        assert set(stats.message_breakdown()) == set(MessageType)
+
+    def test_summary_lines_content(self):
+        machine = make_machine(Policy.swcc())
+        program = get_workload("gjk", scale=0.1).build(machine)
+        stats = machine.run(program)
+        text = "\n".join(stats.summary_lines())
+        assert "cycles:" in text
+        assert "total L2->L3 msgs:" in text
+        assert "useful WB fraction:" in text  # SWcc issued flushes
+
+    def test_summary_lines_mention_races(self):
+        stats = RunStats()
+        stats.swcc_races = 2
+        assert any("races" in line for line in stats.summary_lines())
+
+
+class TestCollectStats:
+    def test_snapshot_is_independent_of_future_traffic(self):
+        machine = make_machine(Policy.hwcc_ideal())
+        machine.clusters[0].load(0, 0x2100_0000, 0.0)
+        stats = collect_stats(machine, end_time=1000.0)
+        first_total = stats.total_messages
+        machine.clusters[0].load(0, 0x2100_0040, 100.0)
+        assert stats.total_messages == first_total
+
+    def test_directory_occupancy_integrated_to_end_time(self):
+        machine = make_machine(Policy.hwcc_ideal())
+        machine.clusters[0].load(0, 0x2100_0000, 0.0)
+        # one entry allocated near t~50 and held to the end
+        stats = collect_stats(machine, end_time=10_000.0)
+        assert 0.9 < stats.dir_avg_entries <= 1.0
+        assert stats.dir_max_entries == 1
+
+    def test_substrate_counters_populated(self):
+        machine = make_machine(Policy.cohesion())
+        program = get_workload("mri", scale=0.1).build(machine)
+        stats = machine.run(program)
+        assert stats.l3_misses > 0
+        assert stats.dram_accesses > 0
+        assert stats.network_messages > stats.total_messages
+        assert stats.fine_table_lookups > 0
+        assert stats.barriers == 1
+
+    def test_swcc_machine_has_no_directory_stats(self):
+        machine = make_machine(Policy.swcc())
+        program = get_workload("mri", scale=0.1).build(machine)
+        stats = machine.run(program)
+        assert stats.dir_avg_entries == 0.0
+        assert stats.dir_max_entries == 0
+        assert stats.dir_evictions == 0

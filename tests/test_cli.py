@@ -1,0 +1,111 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main, policy_from_name
+from repro.types import DirectoryKind, PolicyKind
+
+
+class TestPolicyNames:
+    def test_all_names_resolve(self):
+        for name in ("swcc", "hwcc-ideal", "hwcc-real", "hwcc-dir4b",
+                     "cohesion", "cohesion-ideal", "cohesion-dir4b"):
+            policy = policy_from_name(name)
+            assert policy is not None
+
+    def test_kinds(self):
+        assert policy_from_name("swcc").kind is PolicyKind.SWCC
+        assert policy_from_name("hwcc-real").kind is PolicyKind.HWCC
+        assert policy_from_name("cohesion").kind is PolicyKind.COHESION
+        assert policy_from_name("hwcc-dir4b").directory is DirectoryKind.DIR4B
+        assert policy_from_name("cohesion-dir4b").directory is DirectoryKind.DIR4B
+        assert policy_from_name("cohesion-ideal").directory is DirectoryKind.INFINITE
+
+    def test_sizing_forwarded(self):
+        policy = policy_from_name("hwcc-real", entries=512, assoc=8)
+        assert policy.dir_entries_per_bank == 512
+        assert policy.dir_assoc == 8
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            policy_from_name("mesi")
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "--workload", "heat"])
+        assert args.policy == "cohesion"
+        assert args.clusters is None
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--workload", "linpack"])
+
+
+class TestCommands:
+    def test_run_command(self, capsys):
+        code = main(["run", "--workload", "gjk", "--clusters", "1",
+                     "--scale", "0.1"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "gjk under cohesion" in out
+        assert "total L2->L3 msgs" in out
+
+    def test_run_with_track_data(self, capsys):
+        code = main(["run", "--workload", "mri", "--clusters", "1",
+                     "--scale", "0.1", "--track-data", "--policy", "swcc"])
+        assert code == 0
+
+    def test_compare_command(self, capsys):
+        code = main(["compare", "--workload", "gjk", "--clusters", "1",
+                     "--scale", "0.1"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "SWcc" in out and "HWccReal" in out
+        assert "runtime and directory pressure" in out
+
+    def test_sweep_command(self, capsys):
+        code = main(["sweep", "--workload", "gjk", "--clusters", "1",
+                     "--scale", "0.1", "--sizes", "64,512"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "HWcc" in out and "Cohesion" in out
+
+    def test_area_command(self, capsys):
+        code = main(["area"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "full-map" in out and "Dir4B" in out
+        assert "2048 ways" in out
+
+    def test_info_command(self, capsys):
+        code = main(["info", "--clusters", "2"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "16" in out  # 2 clusters x 8 cores
+
+    def test_workloads_command(self, capsys):
+        code = main(["workloads"])
+        out = capsys.readouterr().out
+        assert code == 0
+        for name in ("cg", "dmm", "gjk", "heat", "kmeans", "mri",
+                     "sobel", "stencil"):
+            assert name in out
+
+    def test_figures_single(self, tmp_path, capsys):
+        code = main(["figures", "sec44", "--out", str(tmp_path)])
+        assert code == 0
+        assert (tmp_path / "sec44.txt").exists()
+
+    def test_figures_fig03(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_CLUSTERS", "1")
+        monkeypatch.setenv("REPRO_SCALE", "0.1")
+        code = main(["figures", "fig03", "--out", str(tmp_path),
+                     "--clusters", "1", "--scale", "0.1"])
+        assert code == 0
+        text = (tmp_path / "fig03.txt").read_text()
+        assert "8K" in text and "128K" in text

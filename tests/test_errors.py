@@ -1,0 +1,30 @@
+"""Exception hierarchy."""
+
+import pytest
+
+from repro.errors import (AllocationError, CoherenceRaceError, ConfigError,
+                          ProtocolError, RegionError, ReproError,
+                          SimulationError)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize("exc", [
+        ConfigError, AllocationError, RegionError, ProtocolError,
+        SimulationError])
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+        with pytest.raises(ReproError):
+            raise exc("boom")
+
+    def test_race_error_carries_context(self):
+        error = CoherenceRaceError(0x1234, (3, 7), 0b0101)
+        assert isinstance(error, ReproError)
+        assert error.line_addr == 0x1234
+        assert error.clusters == (3, 7)
+        assert error.overlap_mask == 0b0101
+        text = str(error)
+        assert "0x1234" in text and "(3, 7)" in text and "0x05" in text
+
+    def test_race_error_clusters_normalised_to_tuple(self):
+        error = CoherenceRaceError(1, [2, 1], 1)
+        assert error.clusters == (2, 1)

@@ -1,0 +1,168 @@
+"""Protocol invariants under randomized operation soups.
+
+These property tests drive the full machine (clusters + directory + L3 +
+transitions) with random interleavings and check the global invariants
+the protocols promise:
+
+* **single writer**: a hardware-coherent line dirty in one L2 is resident
+  in no other L2, and the directory records exactly that owner;
+* **directory/L2 agreement**: every coherent resident line is tracked
+  with its holder in the sharer list; every directory entry's sharers
+  actually hold the line;
+* **incoherent bit agreement**: a resident line's incoherent bit matches
+  the domain the memory system would resolve for it;
+* **value delivery**: after draining, memory holds the last value written
+  to every word (in race-free histories).
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import Policy
+from repro.coherence.directory import DIR_M
+from repro.types import Domain, PolicyKind
+
+from tests.conftest import make_machine
+
+COHERENT_HEAP = 0x2000_0000
+INCOHERENT_HEAP = 0x4000_0000
+
+N_LINES = 12  # small pool => lots of interaction
+
+
+def check_global_invariants(machine):
+    ms = machine.memsys
+    policy = machine.policy
+    for cluster in machine.clusters:
+        for entry in cluster.l2.lines():
+            line = entry.line
+            # L1 inclusion: an L1-resident line must be in its L2.
+            # (checked from the other side below)
+            if not policy.uses_directory:
+                assert entry.incoherent, "pure SWcc line must be incoherent"
+                continue
+            if entry.incoherent:
+                if policy.kind is PolicyKind.COHESION:
+                    swcc = (ms.coarse.lookup_line(line)
+                            or ms.fine.is_swcc(line))
+                    assert swcc, f"incoherent bit on HWcc line {line:#x}"
+                continue
+            dentry = ms.directory_of(line).get(line)
+            assert dentry is not None, f"untracked coherent line {line:#x}"
+            assert dentry.sharers & (1 << cluster.id), \
+                f"cluster {cluster.id} not a sharer of {line:#x}"
+            if entry.dirty_mask:
+                assert dentry.state == DIR_M
+                assert dentry.owner() == cluster.id
+        # L1 subset of L2
+        for l1 in list(cluster.l1d) + list(cluster.l1i):
+            for l1_entry in l1.lines():
+                assert cluster.l2.peek(l1_entry.line) is not None, \
+                    "L1 line not backed by L2"
+    if policy.uses_directory:
+        for bank_dir in ms.dirs:
+            for dentry in bank_dir.entries():
+                holders = [c for c in dentry.sharer_ids()]
+                for cid in holders:
+                    held = machine.clusters[cid].l2.peek(dentry.line)
+                    assert held is not None and not held.incoherent, \
+                        f"stale sharer {cid} for line {dentry.line:#x}"
+                if dentry.state == DIR_M:
+                    assert dentry.n_sharers == 1
+
+
+op_strategy = st.tuples(
+    st.sampled_from(["load", "store", "atomic", "flush", "inv",
+                     "evict_pressure", "to_hwcc", "to_swcc"]),
+    st.integers(0, 1),            # cluster
+    st.integers(0, 7),            # core
+    st.integers(0, N_LINES - 1),  # line index within the pool
+    st.integers(0, 7),            # word
+)
+
+
+class TestRandomSoup:
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(op_strategy, min_size=1, max_size=80),
+           st.sampled_from(["swcc", "hwcc", "cohesion"]))
+    def test_invariants_hold_throughout(self, ops, policy_name):
+        policy = {"swcc": Policy.swcc(), "hwcc": Policy.hwcc_ideal(),
+                  "cohesion": Policy.cohesion()}[policy_name]
+        machine = make_machine(policy)
+        ms = machine.memsys
+        # Pool: half coherent-heap lines, half incoherent-heap lines.
+        pool = [(COHERENT_HEAP >> 5) + i for i in range(N_LINES // 2)]
+        pool += [(INCOHERENT_HEAP >> 5) + i for i in range(N_LINES - len(pool))]
+        t = 0.0
+        for kind, cluster_id, core, index, word in ops:
+            t += 25.0
+            cluster = machine.clusters[cluster_id]
+            line = pool[index]
+            addr = (line << 5) + 4 * word
+            if kind == "load":
+                cluster.load(core, addr, t)
+            elif kind == "store":
+                # Avoid cross-cluster SWcc same-word races (undefined by
+                # the model): only cluster 0 writes even words, cluster 1
+                # odd words.
+                if word % 2 == cluster_id:
+                    cluster.store(core, addr, int(t), t)
+            elif kind == "atomic":
+                cluster.atomic(core, addr, lambda a, b: a + b, 1, t)
+            elif kind == "flush":
+                cluster.flush_line(core, line, t)
+            elif kind == "inv":
+                cluster.invalidate_line(core, line, t)
+            elif kind == "evict_pressure":
+                conflict = line + cluster.l2.n_sets * (core + 1)
+                cluster.load(core, conflict << 5, t)
+            elif kind == "to_hwcc" and policy.hybrid:
+                ms.transitions.transition_line(line, Domain.HWCC, cluster_id, t)
+            elif kind == "to_swcc" and policy.hybrid:
+                ms.transitions.transition_line(line, Domain.SWCC, cluster_id, t)
+            check_global_invariants(machine)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.tuples(st.integers(0, 1), st.integers(0, 7),
+                              st.integers(0, N_LINES - 1), st.integers(0, 7)),
+                    min_size=1, max_size=60))
+    def test_hwcc_value_delivery(self, writes):
+        """Under HWcc, the last store to each word always wins."""
+        machine = make_machine(Policy.hwcc_ideal())
+        base = COHERENT_HEAP >> 5
+        expected = {}
+        t = 0.0
+        for cluster_id, core, index, word in writes:
+            t += 40.0
+            addr = ((base + index) << 5) + 4 * word
+            value = len(expected) * 1000 + int(t)
+            machine.clusters[cluster_id].store(core, addr, value, t)
+            expected[addr] = value
+            # interleave reads from the opposite cluster
+            other = machine.clusters[1 - cluster_id]
+            _t, seen = other.load(core, addr, t + 20.0)
+            assert seen == value
+            t += 40.0
+        assert machine.verify_expected(expected) == []
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.tuples(st.integers(0, 1), st.integers(0, N_LINES - 1),
+                              st.booleans()),
+                    min_size=1, max_size=40))
+    def test_cohesion_domain_bit_agreement(self, moves):
+        """After arbitrary transitions, resolution matches the table."""
+        machine = make_machine(Policy.cohesion())
+        ms = machine.memsys
+        base = INCOHERENT_HEAP >> 5
+        t = 0.0
+        for cluster_id, index, to_hw in moves:
+            t += 50.0
+            line = base + index
+            domain = Domain.HWCC if to_hw else Domain.SWCC
+            ms.transitions.transition_line(line, domain, cluster_id, t)
+            reply = ms.read_line(cluster_id, line, t + 10.0)
+            assert reply.incoherent == ms.fine.is_swcc(line)
+            # clean up the read's footprint to keep the soup simple
+            machine.clusters[cluster_id].l2.remove(line)
+            if not reply.incoherent:
+                ms.read_release(cluster_id, line, t + 20.0)

@@ -1,0 +1,45 @@
+"""Shared enums and op-kind constants."""
+
+from repro.types import (MESSAGE_STACK_ORDER, OP_ATOMIC, OP_BARRIER,
+                         OP_COMPUTE, OP_IFETCH, OP_INV, OP_LOAD, OP_NAMES,
+                         OP_STORE, OP_WB, DirectoryKind, DirState, Domain,
+                         MessageType, PolicyKind, SegmentClass, SWState)
+
+
+class TestOpConstants:
+    def test_all_distinct(self):
+        kinds = [OP_LOAD, OP_STORE, OP_ATOMIC, OP_IFETCH, OP_WB, OP_INV,
+                 OP_COMPUTE, OP_BARRIER]
+        assert len(set(kinds)) == len(kinds)
+
+    def test_names_cover_all_kinds(self):
+        assert set(OP_NAMES) == {OP_LOAD, OP_STORE, OP_ATOMIC, OP_IFETCH,
+                                 OP_WB, OP_INV, OP_COMPUTE, OP_BARRIER}
+        assert OP_NAMES[OP_LOAD] == "load"
+
+
+class TestEnums:
+    def test_message_stack_order_is_figure_2_legend(self):
+        assert len(MESSAGE_STACK_ORDER) == len(MessageType)
+        assert MESSAGE_STACK_ORDER[0] is MessageType.READ_REQUEST
+        assert MESSAGE_STACK_ORDER[-1] is MessageType.PROBE_RESPONSE
+
+    def test_domains(self):
+        assert Domain.HWCC.value == "hwcc"
+        assert Domain.SWCC.value == "swcc"
+
+    def test_dir_states_msi_without_e_and_o(self):
+        assert {s.value for s in DirState} == {"S", "M"}
+
+    def test_sw_states_match_figure_6(self):
+        assert {s.value for s in SWState} == {
+            "I", "SWCL", "SWPC", "SWPD", "SWIM"}
+
+    def test_segment_classes_match_figure_9c(self):
+        assert {s.value for s in SegmentClass} == {
+            "code", "stack", "heap_global"}
+
+    def test_policy_and_directory_kinds(self):
+        assert {p.value for p in PolicyKind} == {"swcc", "hwcc", "cohesion"}
+        assert {d.value for d in DirectoryKind} == {
+            "infinite", "sparse", "dir4b"}

@@ -1,0 +1,199 @@
+"""Workload-construction framework: buffers, sketches, value tracking."""
+
+import pytest
+
+from repro import Policy
+from repro.errors import ConfigError
+from repro.types import (OP_ATOMIC, OP_COMPUTE, OP_LOAD, OP_STORE)
+from repro.workloads.base import Buffer, Workload
+
+from tests.conftest import make_machine
+
+
+class _Probe(Workload):
+    """Minimal concrete workload for testing the base helpers."""
+
+    name = "probe"
+
+    def _build(self):
+        return self.program([])
+
+
+def bound_workload(policy=None, track_data=True):
+    machine = make_machine(policy or Policy.cohesion(),
+                           track_data=track_data)
+    workload = _Probe()
+    workload.machine = machine
+    workload.track = track_data
+    return workload, machine
+
+
+class TestBuffer:
+    def test_geometry(self):
+        buf = Buffer("b", 0x1000, 100, "sw")
+        assert buf.base_line == 0x1000 >> 5
+        assert buf.n_lines == 4  # 100 bytes -> 4 lines
+        assert buf.line(2) == buf.base_line + 2
+        assert list(buf.lines(1, 2)) == [buf.base_line + 1, buf.base_line + 2]
+        assert buf.word_addr(3) == 0x100c
+
+    def test_lines_default_covers_all(self):
+        buf = Buffer("b", 0, 128, "hw")
+        assert len(buf.lines()) == 4
+
+
+class TestAllocation:
+    def test_kinds_place_in_correct_segments(self):
+        workload, machine = bound_workload()
+        layout = machine.layout
+        imm = workload.alloc("i", 64, "immutable")
+        sw = workload.alloc("s", 64, "sw")
+        hw = workload.alloc("h", 64, "hw")
+        assert layout.globals_base <= imm.addr < (
+            layout.globals_base + layout.globals_size)
+        assert layout.incoherent_heap_base <= sw.addr
+        assert layout.coherent_heap_base <= hw.addr < layout.incoherent_heap_base
+
+    def test_unknown_kind_rejected(self):
+        workload, _machine = bound_workload()
+        with pytest.raises(ConfigError):
+            workload.alloc("x", 64, "mystery")
+
+    def test_init_seeds_backing_and_shadow(self):
+        workload, machine = bound_workload()
+        buf = workload.alloc("i", 16, "immutable", init=lambda w: 10 + w)
+        for w in range(4):
+            assert machine.memsys.backing.read_word_addr(buf.word_addr(w)) == 10 + w
+            assert workload.shadow[buf.word_addr(w)] == 10 + w
+
+    def test_force_hw_data_overrides_kind(self):
+        workload, machine = bound_workload()
+        workload.force_hw_data = True
+        buf = workload.alloc("s", 64, "sw")
+        assert machine.layout.coherent_heap_base <= buf.addr
+        assert buf.addr < machine.layout.incoherent_heap_base
+
+
+class TestSwManaged:
+    def test_policy_rules(self):
+        cases = {
+            # policy -> (immutable, sw, hw)
+            "swcc": (False, True, True),
+            "hwcc": (False, False, False),
+            "cohesion": (False, True, False),
+        }
+        policies = {"swcc": Policy.swcc(), "hwcc": Policy.hwcc_ideal(),
+                    "cohesion": Policy.cohesion()}
+        for label, expected in cases.items():
+            workload, _m = bound_workload(policies[label])
+            results = tuple(
+                workload.sw_managed(Buffer("b", 0x40000000, 64, kind))
+                for kind in ("immutable", "sw", "hw"))
+            assert results == expected, label
+
+
+class TestTaskSketch:
+    def test_read_emits_checked_loads(self):
+        workload, _m = bound_workload()
+        buf = workload.alloc("i", 64, "immutable", init=lambda w: w)
+        sk = workload.sketch()
+        sk.read(buf, buf.lines(), words_per_line=2)
+        assert len(sk.ops) == 4  # 2 lines x 2 words
+        kinds = {op[0] for op in sk.ops}
+        assert kinds == {OP_LOAD}
+        assert all(len(op) == 3 for op in sk.ops)  # expected values attached
+
+    def test_read_unchecked_when_unknown(self):
+        workload, _m = bound_workload()
+        buf = workload.alloc("s", 64, "sw")  # never written: no shadow
+        sk = workload.sketch()
+        sk.read(buf, buf.lines(), words_per_line=1)
+        assert all(len(op) == 2 for op in sk.ops)
+
+    def test_inv_reads_collects_inputs(self):
+        workload, _m = bound_workload()
+        buf = workload.alloc("s", 64, "sw", inv_reads=True)
+        sk = workload.sketch()
+        sk.read(buf, buf.lines(), words_per_line=1)
+        assert set(sk.inputs) == set(buf.lines())
+
+    def test_write_updates_shadow_and_flushes(self):
+        workload, _m = bound_workload()
+        buf = workload.alloc("s", 64, "sw")
+        sk = workload.sketch()
+        sk.write(buf, buf.lines(), words_per_line=1, value_fn=lambda a: 7)
+        assert all(op[0] == OP_STORE and op[2] == 7 for op in sk.ops)
+        assert set(sk.flushes) == set(buf.lines())
+        assert workload.expected[buf.addr] == 7
+
+    def test_write_inv_writes_adds_inputs(self):
+        workload, _m = bound_workload()
+        buf = workload.alloc("s", 64, "sw", inv_writes=True)
+        sk = workload.sketch()
+        sk.write(buf, buf.lines(), words_per_line=1)
+        assert set(sk.inputs) == set(buf.lines())
+
+    def test_hw_buffer_writes_have_no_flushes(self):
+        workload, _m = bound_workload()
+        buf = workload.alloc("h", 64, "hw")
+        sk = workload.sketch()
+        sk.write(buf, buf.lines(), words_per_line=1)
+        assert sk.flushes == set()
+
+    def test_gather_word_granular(self):
+        workload, _m = bound_workload()
+        buf = workload.alloc("i", 256, "immutable", init=lambda w: w * 3)
+        sk = workload.sketch()
+        sk.gather(buf, [0, 9, 17])
+        assert [op[1] for op in sk.ops] == [buf.word_addr(0),
+                                            buf.word_addr(9),
+                                            buf.word_addr(17)]
+        assert [op[2] for op in sk.ops] == [0, 27, 51]
+
+    def test_atomic_tracks_running_sum(self):
+        workload, _m = bound_workload()
+        buf = workload.alloc("h", 64, "hw")
+        sk = workload.sketch()
+        sk.atomic(buf.word_addr(0), operand=5)
+        sk.atomic(buf.word_addr(0), operand=3)
+        assert workload.expected[buf.addr] == 8
+
+    def test_compute_and_done(self):
+        workload, _m = bound_workload()
+        sk = workload.sketch()
+        sk.compute(100)
+        sk.compute(0)  # ignored
+        task = sk.done(stack_words=5)
+        assert task.ops == [(OP_COMPUTE, 100)]
+        assert task.stack_words == 5
+
+    def test_untracked_machine_emits_bare_ops(self):
+        workload, _m = bound_workload(track_data=False)
+        buf = workload.alloc("s", 64, "sw")
+        sk = workload.sketch()
+        sk.write(buf, buf.lines(), words_per_line=1)
+        sk.atomic(buf.word_addr(0))
+        assert all(op[0] != OP_STORE or len(op) == 2
+                   for op in sk.ops if op[0] == OP_STORE)
+        assert workload.expected == {}
+        assert (OP_ATOMIC, buf.word_addr(0), 1) == sk.ops[-1]
+
+
+class TestValues:
+    def test_synth_values_distinct_across_phases(self):
+        workload, _m = bound_workload()
+        workload.set_phase_salt(1)
+        v1 = workload.synth_value(0x1000)
+        workload.set_phase_salt(2)
+        v2 = workload.synth_value(0x1000)
+        assert v1 != v2
+
+    def test_scaled_respects_minimum(self):
+        workload = _Probe(scale=0.001)
+        assert workload.scaled(100, minimum=8) == 8
+        workload = _Probe(scale=2.0)
+        assert workload.scaled(100) == 200
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(ConfigError):
+            _Probe(scale=0)

@@ -1,0 +1,145 @@
+"""Trace capture and replay."""
+
+import io
+
+import pytest
+
+from repro import Policy
+from repro.runtime.program import Phase, Program, Task
+from repro.types import OP_ATOMIC, OP_COMPUTE, OP_LOAD, OP_STORE
+from repro.workloads import get_workload
+from repro.workloads.tracefile import (TraceFormatError, TraceWorkload,
+                                       dump_program, dumps_program,
+                                       load_program, load_trace,
+                                       record_workload)
+
+from tests.conftest import make_machine
+
+
+def sample_program():
+    tasks = [
+        Task(ops=[(OP_LOAD, 0x1000), (OP_STORE, 0x2000, 42),
+                  (OP_COMPUTE, 17), (OP_ATOMIC, 0x3000, 3),
+                  (OP_LOAD, 0x1004, 99)],
+             flush_lines=[0x2000 >> 5], input_lines=[0x1000 >> 5],
+             stack_words=4),
+        Task(ops=[(OP_LOAD, 0x1020)], stack_words=0),
+    ]
+    return Program("sample", [Phase("p0", tasks, code_lines=3)])
+
+
+class TestRoundTrip:
+    def test_dump_and_load_identical(self):
+        original = sample_program()
+        text = dumps_program(original)
+        loaded = load_program(text)
+        assert len(loaded.phases) == 1
+        phase = loaded.phases[0]
+        assert phase.name == "p0" and phase.code_lines == 3
+        assert len(phase.tasks) == 2
+        task = phase.tasks[0]
+        assert task.ops == original.phases[0].tasks[0].ops
+        assert list(task.flush_lines) == [0x2000 >> 5]
+        assert list(task.input_lines) == [0x1000 >> 5]
+        assert task.stack_words == 4
+        assert phase.tasks[1].stack_words == 0
+
+    def test_double_round_trip_stable(self):
+        text1 = dumps_program(sample_program())
+        text2 = dumps_program(load_program(text1))
+        assert text1.splitlines()[1:] == text2.splitlines()[1:]
+
+    def test_initial_memory_round_trips(self):
+        text = dumps_program(sample_program(), {0x1000: 5, 0x1004: 99})
+        _program, inits = load_trace(text)
+        assert inits == {0x1000: 5, 0x1004: 99}
+
+    def test_dump_counts_records(self):
+        buffer = io.StringIO()
+        count = dump_program(sample_program(), buffer)
+        assert count == len(buffer.getvalue().splitlines())
+
+
+class TestParsing:
+    def test_comments_and_blanks_ignored(self):
+        program = load_program("# hi\n\nphase p 2\ntask 1\nld 40\n")
+        assert program.phases[0].tasks[0].ops == [(OP_LOAD, 0x40)]
+
+    def test_task_before_phase_rejected(self):
+        with pytest.raises(TraceFormatError, match="task before phase"):
+            load_program("task 1\n")
+
+    def test_op_outside_task_rejected(self):
+        with pytest.raises(TraceFormatError, match="outside a task"):
+            load_program("phase p 1\nld 40\n")
+
+    def test_unknown_record_rejected(self):
+        with pytest.raises(TraceFormatError, match="unknown record"):
+            load_program("phase p 1\ntask 0\nfrobnicate 1\n")
+
+    def test_malformed_record_rejected(self):
+        with pytest.raises(TraceFormatError, match="malformed"):
+            load_program("phase p 1\ntask 0\nld zz\n")
+        with pytest.raises(TraceFormatError, match="malformed"):
+            load_program("phase p\n")
+
+
+class TestReplay:
+    def test_recorded_kernel_replays_with_same_traffic(self):
+        recorder_machine = make_machine(Policy.cohesion())
+        trace = record_workload(get_workload("gjk", scale=0.1),
+                                recorder_machine)
+
+        original_machine = make_machine(Policy.cohesion())
+        original = get_workload("gjk", scale=0.1).build(original_machine)
+        original_stats = original_machine.run(original)
+
+        replay_machine = make_machine(Policy.cohesion())
+        replay = TraceWorkload(trace).build(replay_machine)
+        replay_stats = replay_machine.run(replay)
+
+        assert replay_stats.total_messages == original_stats.total_messages
+        assert replay_stats.tasks_executed == original_stats.tasks_executed
+        assert replay_stats.cycles == original_stats.cycles
+
+    def test_replay_is_value_correct(self):
+        recorder_machine = make_machine(Policy.cohesion())
+        trace = record_workload(get_workload("sobel", scale=0.1),
+                                recorder_machine)
+        machine = make_machine(Policy.swcc())  # replay under another model
+        workload = TraceWorkload(trace)
+        program = workload.build(machine)
+        stats = machine.run(program)
+        assert stats.load_mismatches == []
+        assert machine.verify_expected(workload.expected) == []
+
+    def test_replay_from_file_object(self, tmp_path):
+        recorder_machine = make_machine(Policy.cohesion())
+        trace = record_workload(get_workload("mri", scale=0.1),
+                                recorder_machine)
+        path = tmp_path / "mri.trace"
+        path.write_text(trace)
+        with open(path) as handle:
+            workload = TraceWorkload(handle)
+        machine = make_machine(Policy.cohesion())
+        program = workload.build(machine)
+        stats = machine.run(program)
+        assert stats.load_mismatches == []
+
+    def test_hand_written_regression_case(self):
+        """The format is meant for hand-built protocol regressions."""
+        # clear of the runtime's own queue/barrier/descriptor cells,
+        # which live at the bottom of the coherent heap
+        heap = 0x2100_0000
+        trace = f"""
+        phase writeback 1
+        task 0
+        st {heap:x} 7
+        phase readback 1
+        task 0
+        ld {heap:x} 7
+        """
+        machine = make_machine(Policy.hwcc_ideal())
+        program = TraceWorkload(trace).build(machine)
+        stats = machine.run(program)
+        assert stats.load_mismatches == []
