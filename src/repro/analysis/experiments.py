@@ -85,14 +85,22 @@ class ExperimentConfig:
 
 
 def run_workload(name: str, policy: Policy, exp: ExperimentConfig,
-                 force_hw_data: bool = False, **config_extra
+                 force_hw_data: bool = False, instrument=None, **config_extra
                  ) -> Tuple[RunStats, Machine]:
-    """Build a fresh machine, run one workload, return (stats, machine)."""
+    """Build a fresh machine, run one workload, return (stats, machine).
+
+    ``instrument``, if given, is called with ``(machine, program)`` after
+    the program is built but before it runs -- the hook point for
+    attaching debug oracles (invariant checkers, tracers) to a normal
+    experiment run.
+    """
     machine = Machine(exp.machine_config(**config_extra), policy)
     workload = get_workload(name, scale=exp.scale, seed=exp.seed)
     if force_hw_data:
         workload.force_hw_data = True
     program = workload.build(machine)
+    if instrument is not None:
+        instrument(machine, program)
     stats = machine.run(program, ops_per_slice=exp.ops_per_slice)
     return stats, machine
 

@@ -3,7 +3,11 @@
 Commands
 --------
 ``run``
-    Run one workload under one memory model and print its statistics.
+    Run one workload under one memory model and print its statistics
+    (``--check`` audits the protocol invariants at every barrier).
+``lint``
+    Statically check a workload's program against the SWcc coherence
+    rules (COH001..COH005) without simulating anything.
 ``compare``
     Run one workload under all four Section 4.1 design points and print
     the message/runtime/directory comparison.
@@ -96,14 +100,77 @@ def _add_scale_args(parser) -> None:
 def cmd_run(args) -> int:
     exp = _experiment_from_args(args)
     policy = policy_from_name(args.policy, args.dir_entries, args.dir_assoc)
-    stats, machine = run_workload(args.workload, policy, exp)
+    checker = None
+
+    def instrument(machine, program):
+        nonlocal checker
+        from repro.debug import attach_barrier_checker
+        checker = attach_barrier_checker(program, machine)
+
+    stats, machine = run_workload(
+        args.workload, policy, exp,
+        instrument=instrument if args.check else None)
     print(f"{args.workload} under {args.policy} "
           f"({machine.config.n_cores} cores):")
     for line in stats.summary_lines():
         print("  " + line)
+    failed = False
+    if checker is not None:
+        violations = checker.all_violations
+        print(f"  invariant checks:    {checker.checks_run} barriers, "
+              f"{len(violations)} violation(s)")
+        for violation in violations[:20]:
+            print(f"    {violation}")
+        failed |= bool(violations)
     if exp.track_data and stats.load_mismatches:
         print(f"  LOAD MISMATCHES: {len(stats.load_mismatches)}")
+        failed = True
+    return 1 if failed else 0
+
+
+def cmd_lint(args) -> int:
+    from repro.lint import Severity, lint_workload
+
+    exp = _experiment_from_args(args)
+    names = ALL_WORKLOADS if args.all else (args.workload,)
+    if names == (None,):
+        print("lint: name a workload or pass --all", file=sys.stderr)
+        return 2
+    if args.policy == "all":
+        policies = [("swcc", policy_from_name("swcc")),
+                    ("hwcc-ideal", policy_from_name("hwcc-ideal")),
+                    ("cohesion", policy_from_name("cohesion"))]
+    else:
+        policies = [(args.policy, policy_from_name(args.policy))]
+    rules = args.rules.split(",") if args.rules else None
+
+    reports = []
+    try:
+        for name in names:
+            for label, policy in policies:
+                report, _program, _machine = lint_workload(
+                    name, policy=policy, exp=exp, rules=rules)
+                report.policy = label  # concrete design point, not the kind
+                reports.append(report)
+    except KeyError as err:
+        print(f"lint: {err.args[0]}", file=sys.stderr)
+        return 2
+    if args.json:
+        import json
+        print(json.dumps([r.as_dict() for r in reports], indent=2))
+    else:
+        for report in reports:
+            print(report.format())
+            print()
+        total_e = sum(len(r.errors) for r in reports)
+        total_w = sum(len(r.warnings) for r in reports)
+        print(f"linted {len(reports)} program(s): "
+              f"{total_e} error(s), {total_w} warning(s)")
+    if any(r.errors for r in reports):
         return 1
+    if any(d.severity is Severity.WARNING
+           for r in reports for d in r.diagnostics):
+        return 2
     return 0
 
 
@@ -279,8 +346,27 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--dir-assoc", type=int, default=128)
     p_run.add_argument("--track-data", action="store_true",
                        help="carry and verify real data values")
+    p_run.add_argument("--check", action="store_true",
+                       help="audit protocol invariants at every barrier")
     _add_scale_args(p_run)
     p_run.set_defaults(func=cmd_run)
+
+    p_lint = sub.add_parser(
+        "lint", help="static SWcc coherence check (no simulation)")
+    p_lint.add_argument("workload", nargs="?", choices=ALL_WORKLOADS,
+                        help="kernel to lint")
+    p_lint.add_argument("--all", action="store_true",
+                        help="lint every shipped kernel")
+    p_lint.add_argument("--policy", choices=POLICY_CHOICES + ("all",),
+                        default="all",
+                        help="design point(s) to resolve domains for "
+                             "(default: the three protocol kinds)")
+    p_lint.add_argument("--rules", default=None,
+                        help="comma-separated rule ids (default: all)")
+    p_lint.add_argument("--json", action="store_true",
+                        help="machine-readable output")
+    _add_scale_args(p_lint)
+    p_lint.set_defaults(func=cmd_lint)
 
     p_cmp = sub.add_parser("compare", help="all four design points")
     p_cmp.add_argument("--workload", choices=ALL_WORKLOADS, required=True)

@@ -34,6 +34,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, List, Optional, Set, Tuple
 
 from repro.errors import RegionError
+from repro.mem.address import line_base
 from repro.types import Domain
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -119,7 +120,7 @@ class RegionProfiler:
         return region
 
     def region_of_line(self, line: int) -> Optional[Region]:
-        addr = line << 5
+        addr = line_base(line)
         index = bisect.bisect_right(self._bases, addr) - 1
         if index < 0:
             return None

@@ -403,10 +403,10 @@ class MemorySystem:
         first removed so the L3 holds the authoritative value.
         """
         self.counters.uncached_atomic += 1
-        line = addr >> 5
+        line = line_of(addr)
         if self.profiler is not None:
             self.profiler.note(line, self.profiler.ATOMIC, cluster_id)
-        bank = self.map.bank_of_line(addr >> 5)
+        bank = self.map.bank_of_line(line)
         t = self.net.to_l3(cluster_id, now)
         if self.policy.uses_directory:
             directory = self.dirs[bank]

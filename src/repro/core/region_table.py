@@ -22,7 +22,7 @@ from dataclasses import dataclass
 from typing import Iterator, List
 
 from repro.errors import RegionError
-from repro.mem.address import LINE_BYTES, line_base
+from repro.mem.address import LINE_BYTES, line_base, lines_in_range
 from repro.core.tbloff import table_entry_addr
 
 
@@ -123,9 +123,8 @@ class FineRegionTable:
         """
         if size <= 0:
             raise RegionError("default SWcc range must have positive size")
-        first = base >> 5
-        last = (base + size + 31) >> 5
-        self._default_ranges.append((first, last))
+        lines = lines_in_range(base, size)
+        self._default_ranges.append((lines.start, lines.stop))
         self._default_ranges.sort()
 
     def _default_swcc(self, line: int) -> bool:

@@ -1,6 +1,8 @@
 """Debugging aids: protocol event tracing and invariant checking."""
 
-from repro.debug.checker import InvariantChecker, Violation
+from repro.debug.checker import (InvariantChecker, Violation,
+                                 attach_barrier_checker)
 from repro.debug.trace import LineTracer, TraceEvent
 
-__all__ = ["InvariantChecker", "LineTracer", "TraceEvent", "Violation"]
+__all__ = ["InvariantChecker", "LineTracer", "TraceEvent", "Violation",
+           "attach_barrier_checker"]

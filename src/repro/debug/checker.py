@@ -43,6 +43,35 @@ class Violation:
                 f"-- {self.detail}")
 
 
+def attach_barrier_checker(program, machine,
+                           raise_on_violation: bool = False
+                           ) -> "InvariantChecker":
+    """Audit ``machine`` at every one of ``program``'s barriers.
+
+    Chains a fresh :class:`InvariantChecker` in front of each phase's
+    existing ``after`` hook (running the audit first, so the machine is
+    inspected exactly as the barrier left it) and returns the checker;
+    read its ``all_violations`` after the run. With
+    ``raise_on_violation`` the first dirty barrier raises instead --
+    the fail-fast mode for tests.
+    """
+    checker = InvariantChecker(machine)
+
+    def chain(original):
+        def hook(m):
+            if raise_on_violation:
+                checker.assert_ok()
+            else:
+                checker.check()
+            if original is not None:
+                original(m)
+        return hook
+
+    for phase in program.phases:
+        phase.after = chain(phase.after)
+    return checker
+
+
 class InvariantChecker:
     """Audits a machine; accumulates violations across checks."""
 

@@ -13,7 +13,7 @@ transition-engine objects at :meth:`attach` time and restoring them at
 
 Example::
 
-    tracer = LineTracer(watch={0x40000000 >> 5})
+    tracer = LineTracer(watch={line_of(0x40000000)})
     tracer.attach(machine)
     machine.run(program)
     tracer.detach()
@@ -25,6 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Iterable, List, Optional, Set
 
+from repro.mem.address import line_of, lines_in_range
 from repro.types import Domain
 
 
@@ -77,8 +78,7 @@ class LineTracer:
         """Add every line of ``[base, base+size)`` to the watch set."""
         if self.watch is None:
             self.watch = set()
-        for line in range(base >> 5, (base + size + 31) >> 5):
-            self.watch.add(line)
+        self.watch.update(lines_in_range(base, size))
 
     # -- attachment --------------------------------------------------------------
     def attach(self, machine) -> "LineTracer":
@@ -114,7 +114,7 @@ class LineTracer:
         def wrap_load(original):
             def load(core, addr, now):
                 finish, value = original(core, addr, now)
-                line = addr >> 5
+                line = line_of(addr)
                 if tracer._wants(line):
                     tracer._record(TraceEvent(now, "load", cid, core, line,
                                               addr, value))
@@ -123,7 +123,7 @@ class LineTracer:
 
         def wrap_store(original):
             def store(core, addr, value, now):
-                line = addr >> 5
+                line = line_of(addr)
                 if tracer._wants(line):
                     tracer._record(TraceEvent(now, "store", cid, core, line,
                                               addr, value))
@@ -133,7 +133,7 @@ class LineTracer:
         def wrap_atomic(original):
             def atomic(core, addr, func, operand, now):
                 finish, old = original(core, addr, func, operand, now)
-                line = addr >> 5
+                line = line_of(addr)
                 if tracer._wants(line):
                     tracer._record(TraceEvent(now, "atomic", cid, core, line,
                                               addr, old,

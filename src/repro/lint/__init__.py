@@ -1,0 +1,43 @@
+"""Static SWcc race detector and coherence linter.
+
+A happens-before analysis over the barrier-synchronised task model: given
+a :class:`~repro.runtime.program.Program` plus the machine's region-table
+layout, the linter predicts -- without executing the simulator -- the
+protocol-misuse bugs (missing flushes/invalidates, intra-phase races) and
+the statically useless coherence work (domain misuse, redundant ops) that
+the runtime :class:`~repro.debug.InvariantChecker`, ``track_data``
+verification, and the Figure 3 efficiency counters would otherwise only
+reveal after a full simulation.
+
+Rules
+-----
+======  ===================  ========  ==============================
+id      name                 severity  finding
+======  ===================  ========  ==============================
+COH001  missing-flush        error     SWcc store consumed later, never
+                                       flushed
+COH002  missing-invalidate   error     phase-variant SWcc line cached
+                                       without a barrier invalidate
+COH003  intra-phase-race     error     two tasks of one phase conflict
+                                       on a word, one a plain store
+COH004  domain-misuse        warning   WB/INV aimed at an HWcc line
+COH005  redundant-op         warning   duplicate WB/INV within a task
+======  ===================  ========  ==============================
+
+Entry points: :func:`lint_program` / :func:`lint_workload` here,
+``Program.lint(machine)`` for convenience, and ``python -m repro lint``
+on the command line. :mod:`repro.lint.crossval` replays flagged programs
+with every dynamic oracle attached to confirm true positives.
+"""
+
+from repro.lint.crossval import OracleRun, run_with_oracles, watched_lines
+from repro.lint.diagnostics import Diagnostic, LintReport, Severity
+from repro.lint.model import DomainModel, LintContext, ProgramIndex
+from repro.lint.rules import ALL_RULES, RULE_IDS, Rule
+from repro.lint.runner import lint_program, lint_workload
+
+__all__ = [
+    "ALL_RULES", "Diagnostic", "DomainModel", "LintContext", "LintReport",
+    "OracleRun", "ProgramIndex", "Rule", "RULE_IDS", "Severity",
+    "lint_program", "lint_workload", "run_with_oracles", "watched_lines",
+]

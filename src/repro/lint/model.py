@@ -1,0 +1,172 @@
+"""Static facts the lint rules consume.
+
+Two models are extracted before any rule runs:
+
+* :class:`DomainModel` -- which coherence domain each cache line starts
+  in, resolved exactly the way the memory system would at boot: pure
+  SWcc machines treat everything as software-managed, pure HWcc machines
+  everything as hardware-coherent, and Cohesion machines consult the
+  coarse region table and then the fine-grain table defaults.
+* :class:`ProgramIndex` -- one pass over every task's operation stream
+  recording, per task, the lines it loads/stores and the coherence
+  instructions it issues, plus the program-wide happens-before skeleton:
+  for each line, the set of phases that load, store, or atomically
+  update it. Phases are totally ordered by their global barriers; tasks
+  within a phase are unordered (that is the whole race surface the
+  rules reason about).
+
+Atomics are deliberately kept separate from cached loads/stores: they
+are uncached read-modify-writes performed at the L3, so they neither
+create a stale-prone cache copy nor require a flush -- but they *do*
+publish new values (a later cached read of an atomically-updated line
+needs the usual lazy invalidate) and they *do* consume values (a store
+feeding a later atomic still needs its eager flush).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.mem.address import line_of
+from repro.runtime.program import Program, Task
+from repro.types import (OP_ATOMIC, OP_IFETCH, OP_INV, OP_LOAD, OP_STORE,
+                         OP_WB, PolicyKind)
+
+
+class DomainModel:
+    """Predicts the boot-time coherence domain of every cache line."""
+
+    def __init__(self, kind: PolicyKind, coarse=None, fine=None) -> None:
+        self.kind = kind
+        self._coarse = coarse
+        self._fine = fine
+
+    @classmethod
+    def of_machine(cls, machine) -> "DomainModel":
+        """Resolve domains the way ``machine``'s memory system would."""
+        ms = machine.memsys
+        return cls(machine.policy.kind, coarse=ms.coarse, fine=ms.fine)
+
+    def is_swcc(self, line: int) -> bool:
+        if self.kind is PolicyKind.SWCC:
+            return True
+        if self.kind is PolicyKind.HWCC:
+            return False
+        return self._coarse.lookup_line(line) or self._fine.is_swcc(line)
+
+    @property
+    def software_managed_possible(self) -> bool:
+        """False only on pure-HWcc machines, where no line is ever SWcc."""
+        return self.kind is not PolicyKind.HWCC
+
+
+@dataclass
+class TaskAccess:
+    """Per-task access summary at line granularity (words kept for races)."""
+
+    phase: int
+    task: int
+    loads: Dict[int, Set[int]] = field(default_factory=dict)    # line -> words
+    stores: Dict[int, Set[int]] = field(default_factory=dict)   # line -> words
+    atomics: Dict[int, Set[int]] = field(default_factory=dict)  # line -> words
+    flushes: List[int] = field(default_factory=list)   # issue order, with dups
+    invalidates: List[int] = field(default_factory=list)
+
+    flush_set: Set[int] = field(default_factory=set)
+    input_set: Set[int] = field(default_factory=set)
+
+    def _touch(self, table: Dict[int, Set[int]], addr: int) -> None:
+        line = line_of(addr)
+        words = table.get(line)
+        if words is None:
+            words = table[line] = set()
+        words.add(addr >> 2)
+
+    @property
+    def cached_lines(self) -> Set[int]:
+        """Lines this task leaves (or may leave) resident in its core's
+        caches: every line it loads or stores through the L1/L2 path."""
+        return set(self.loads) | set(self.stores)
+
+
+@dataclass
+class ProgramIndex:
+    """Happens-before skeleton of one :class:`Program`."""
+
+    program: Program
+    tasks: List[TaskAccess] = field(default_factory=list)
+    load_phases: Dict[int, Set[int]] = field(default_factory=dict)
+    store_phases: Dict[int, Set[int]] = field(default_factory=dict)
+    atomic_phases: Dict[int, Set[int]] = field(default_factory=dict)
+    has_after_hooks: bool = False
+
+    @classmethod
+    def of_program(cls, program: Program) -> "ProgramIndex":
+        index = cls(program)
+        for p, phase in enumerate(program.phases):
+            if phase.after is not None:
+                index.has_after_hooks = True
+            for t, task in enumerate(phase.tasks):
+                index.tasks.append(index._index_task(p, t, task))
+        return index
+
+    def _index_task(self, p: int, t: int, task: Task) -> TaskAccess:
+        access = TaskAccess(phase=p, task=t)
+        for op in task.ops:
+            kind = op[0]
+            if kind == OP_LOAD:
+                access._touch(access.loads, op[1])
+            elif kind == OP_STORE:
+                access._touch(access.stores, op[1])
+            elif kind == OP_ATOMIC:
+                access._touch(access.atomics, op[1])
+            elif kind == OP_WB:
+                # Inline WB ops participate exactly like flush_lines.
+                access.flushes.append(line_of(op[1]))
+            elif kind == OP_INV:
+                access.invalidates.append(line_of(op[1]))
+            elif kind == OP_IFETCH:
+                pass  # instruction fetches never need software coherence
+        access.flushes.extend(task.flush_lines)
+        access.invalidates.extend(task.input_lines)
+        access.flush_set = set(access.flushes)
+        access.input_set = set(access.invalidates)
+        for table, phases in ((access.loads, self.load_phases),
+                              (access.stores, self.store_phases),
+                              (access.atomics, self.atomic_phases)):
+            for line in table:
+                phases.setdefault(line, set()).add(p)
+        return access
+
+    # -- happens-before queries -------------------------------------------
+    def written_after(self, line: int, phase: int) -> List[int]:
+        """Phases after ``phase`` that publish a new value of ``line``
+        (cached stores and uncached atomics both count)."""
+        later = {p for p in self.store_phases.get(line, ()) if p > phase}
+        later.update(p for p in self.atomic_phases.get(line, ()) if p > phase)
+        return sorted(later)
+
+    def read_after(self, line: int, phase: int) -> bool:
+        """Does any task *cache-read* ``line`` in a phase after ``phase``?"""
+        return any(p > phase for p in self.load_phases.get(line, ()))
+
+    def consumed_after(self, line: int, phase: int) -> bool:
+        """Is ``line``'s memory value observed after ``phase`` -- by a
+        cached load or by an uncached atomic (which reads at the L3)?"""
+        if self.read_after(line, phase):
+            return True
+        return any(p > phase for p in self.atomic_phases.get(line, ()))
+
+    def phase_name(self, p: int) -> str:
+        return self.program.phases[p].name
+
+
+@dataclass
+class LintContext:
+    """Everything a rule's ``check`` function receives."""
+
+    program: Program
+    index: ProgramIndex
+    domain: DomainModel
+    max_diagnostics_per_rule: int = 200

@@ -1,0 +1,46 @@
+"""Lint rule registry.
+
+Each rule lives in its own module exposing ``RULE``, a :class:`Rule`
+whose ``check(ctx)`` generator yields :class:`~repro.lint.diagnostics.
+Diagnostic` records. Rules are pure functions of the
+:class:`~repro.lint.model.LintContext`: they never execute the
+simulator and never mutate the program.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, Tuple
+
+from repro.lint.diagnostics import Diagnostic, Severity
+from repro.lint.model import LintContext
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One static check over a program's op streams."""
+
+    id: str
+    name: str
+    severity: Severity
+    summary: str
+    check: Callable[[LintContext], Iterator[Diagnostic]]
+
+
+def _registry() -> Dict[str, Rule]:
+    from repro.lint.rules import (coh001_missing_flush,
+                                  coh002_missing_invalidate,
+                                  coh003_intra_phase_race,
+                                  coh004_domain_misuse,
+                                  coh005_redundant_op)
+
+    modules = (coh001_missing_flush, coh002_missing_invalidate,
+               coh003_intra_phase_race, coh004_domain_misuse,
+               coh005_redundant_op)
+    return {module.RULE.id: module.RULE for module in modules}
+
+
+ALL_RULES: Dict[str, Rule] = _registry()
+RULE_IDS: Tuple[str, ...] = tuple(ALL_RULES)
+
+__all__ = ["ALL_RULES", "RULE_IDS", "Rule"]

@@ -1,0 +1,56 @@
+"""COH001: a software-managed store is consumed later but never flushed.
+
+Under the Task-Centric Memory Model, a task's stores to SWcc lines stay
+as per-word dirty data in the writing cluster's L2 until an explicit WB
+instruction pushes them to the globally visible L3 (Section 2.1). If a
+later phase consumes such a line -- with a cached load *or* an uncached
+atomic, both of which observe the L3's version -- and the writing task
+never lists the line in ``flush_lines``, the consumer can read the
+pre-store value. This is the classic missing-flush staleness bug the
+runtime :class:`~repro.debug.InvariantChecker` and ``track_data``
+verification can only catch after a full simulation; here it falls out
+of the happens-before skeleton alone.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.lint.diagnostics import Diagnostic, Severity
+from repro.lint.model import LintContext
+from repro.lint.rules import Rule
+
+
+def check(ctx: LintContext) -> Iterator[Diagnostic]:
+    index = ctx.index
+    emitted = 0
+    for access in index.tasks:
+        for line in sorted(access.stores):
+            if not ctx.domain.is_swcc(line):
+                continue  # hardware keeps HWcc stores coherent
+            if line in access.flush_set:
+                continue
+            if not index.consumed_after(line, access.phase):
+                continue
+            emitted += 1
+            if emitted > ctx.max_diagnostics_per_rule:
+                return
+            yield Diagnostic(
+                rule=RULE.id, severity=RULE.severity,
+                phase=access.phase, phase_name=index.phase_name(access.phase),
+                task=access.task, line=line,
+                message=("task stores to SWcc line consumed in a later "
+                         "phase but never flushes it; the consumer can "
+                         "observe the pre-store value"),
+                hint=(f"add line {line:#x} to the task's flush_lines (the "
+                      "eager task-end writeback of the Task-Centric "
+                      "Memory Model)"))
+
+
+RULE = Rule(
+    id="COH001",
+    name="missing-flush",
+    severity=Severity.ERROR,
+    summary="SWcc store consumed in a later phase but never flushed",
+    check=check,
+)

@@ -1,0 +1,65 @@
+"""COH002: a cached copy of a phase-variant SWcc line is never released.
+
+The lazy half of the software protocol: a task that caches an SWcc line
+(by loading it, or by storing to it -- write-allocate leaves a copy too)
+must list the line in ``input_lines`` whenever a later phase publishes a
+new value of it, so the copy is dropped at this phase's barrier. Tasks
+are dynamically scheduled onto cores, so *any* core may hold the stale
+copy when a still-later phase re-reads the line; the invalidate must
+therefore ride with the task that created the copy -- the reader in the
+consuming phase invalidates only *after* its own reads and cannot save
+itself.
+
+A line is dangerous only when the full pattern exists: cache a copy in
+phase P, a store or atomic publishes a new value in some phase > P, and
+a cached load consumes it in a yet-later phase (uncached atomics read at
+the L3 and are immune). This matches the ``inv_reads``/``inv_writes``
+buffer annotations the shipped kernels use.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.lint.diagnostics import Diagnostic, Severity
+from repro.lint.model import LintContext
+from repro.lint.rules import Rule
+
+
+def check(ctx: LintContext) -> Iterator[Diagnostic]:
+    index = ctx.index
+    emitted = 0
+    for access in index.tasks:
+        for line in sorted(access.cached_lines):
+            if not ctx.domain.is_swcc(line):
+                continue  # the directory invalidates HWcc copies itself
+            if line in access.input_set:
+                continue
+            stale_read = any(
+                index.read_after(line, writer_phase)
+                for writer_phase in index.written_after(line, access.phase))
+            if not stale_read:
+                continue
+            emitted += 1
+            if emitted > ctx.max_diagnostics_per_rule:
+                return
+            how = "loads" if line in access.loads else "stores to"
+            yield Diagnostic(
+                rule=RULE.id, severity=RULE.severity,
+                phase=access.phase, phase_name=index.phase_name(access.phase),
+                task=access.task, line=line,
+                message=(f"task {how} phase-variant SWcc line without "
+                         "listing it in input_lines; the cached copy goes "
+                         "stale when a later phase rewrites the line and is "
+                         "then re-read"),
+                hint=(f"add line {line:#x} to the task's input_lines so the "
+                      "barrier's lazy invalidation drops the copy"))
+
+
+RULE = Rule(
+    id="COH002",
+    name="missing-invalidate",
+    severity=Severity.ERROR,
+    summary="phase-variant SWcc line cached without a barrier invalidate",
+    check=check,
+)

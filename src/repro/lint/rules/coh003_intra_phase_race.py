@@ -1,0 +1,91 @@
+"""COH003: two unordered tasks conflict on a word inside one phase.
+
+Phases are the only synchronisation in the BSP model: within a phase
+tasks are pulled from the shared queue in arbitrary order onto arbitrary
+cores, with no barrier between them. If two different tasks of the same
+phase touch the same *word* and at least one access is a non-atomic
+store, the outcome depends on scheduling -- a data race no coherence
+protocol (software or hardware) can repair.
+
+The check is word-granular on purpose: the shipped kernels legitimately
+share cache *lines* inside a phase (halo rows read by neighbouring
+stencil tasks, disjoint words of one output line written by different
+tasks and merged by the per-word dirty masks of Section 3.3), and those
+are not races. Atomic-vs-atomic conflicts are ordered by the L3 and
+load-vs-atomic is the intended reduction pattern, so only store-vs-load,
+store-vs-store, and store-vs-atomic pairs are flagged.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Set, Tuple
+
+from repro.lint.diagnostics import Diagnostic, Severity
+from repro.lint.model import LintContext
+from repro.lint.rules import Rule
+from repro.mem.address import LINE_SHIFT, WORD_BYTES, WORD_SHIFT
+
+
+def check(ctx: LintContext) -> Iterator[Diagnostic]:
+    index = ctx.index
+    by_phase: Dict[int, list] = {}
+    for access in index.tasks:
+        by_phase.setdefault(access.phase, []).append(access)
+
+    emitted = 0
+    for p in sorted(by_phase):
+        # word -> task sets, built over the whole phase before analysis
+        # (task order in the list carries no runtime ordering anyway).
+        storers: Dict[int, Set[int]] = {}
+        others: Dict[int, Set[Tuple[int, str]]] = {}  # loads and atomics
+        for access in by_phase[p]:
+            t = access.task
+            for words in access.stores.values():
+                for word in words:
+                    storers.setdefault(word, set()).add(t)
+            for table, kind in ((access.loads, "load"),
+                                (access.atomics, "atomic")):
+                for words in table.values():
+                    for word in words:
+                        others.setdefault(word, set()).add((t, kind))
+
+        reported: Set[Tuple[int, int, int]] = set()  # (line, task, task)
+        for word in sorted(storers):
+            writers = storers[word]
+            conflicts = []
+            if len(writers) > 1:
+                pair = sorted(writers)[:2]
+                conflicts.append((pair[0], pair[1], "store-store"))
+            for t, kind in sorted(others.get(word, ())):
+                if t not in writers:
+                    w = min(writers)
+                    conflicts.append((min(w, t), max(w, t), f"store-{kind}"))
+            for a, b, kind in conflicts:
+                line = word >> (LINE_SHIFT - WORD_SHIFT)
+                key = (line, a, b)
+                if key in reported:
+                    continue
+                reported.add(key)
+                emitted += 1
+                if emitted > ctx.max_diagnostics_per_rule:
+                    return
+                yield Diagnostic(
+                    rule=RULE.id, severity=RULE.severity,
+                    phase=p, phase_name=index.phase_name(p),
+                    task=b, line=line,
+                    message=(f"intra-phase race: tasks {a} and {b} both "
+                             f"touch word {word * WORD_BYTES:#x} with at "
+                             f"least one "
+                             f"non-atomic store ({kind}); no barrier orders "
+                             "them"),
+                    hint=("split the conflicting accesses into separate "
+                          "phases, or make the update an atomic"))
+
+
+RULE = Rule(
+    id="COH003",
+    name="intra-phase-race",
+    severity=Severity.ERROR,
+    summary="two tasks of one phase conflict on a word, one a plain store",
+    check=check,
+)

@@ -1,0 +1,59 @@
+"""COH004: software coherence instructions aimed at HWcc-domain lines.
+
+A WB or INV instruction only does useful work on a line the region
+tables resolve to the SWcc domain; on a hardware-coherent line the
+directory already tracks the copy, so the instruction is pure overhead
+(and, for INV, forces a needless eviction-style round trip to keep the
+sharer state exact). This is the statically-predictable slice of the
+"useless coherence operations" the paper measures in Figure 3 -- every
+occurrence here shows up in the simulator as a wasted ``wb_issued``/
+``inv_issued`` count. On a pure-HWcc machine *every* software coherence
+instruction is domain misuse, which is exactly why the kernels emit
+none when built for that policy.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.lint.diagnostics import Diagnostic, Severity
+from repro.lint.model import LintContext
+from repro.lint.rules import Rule
+
+
+def check(ctx: LintContext) -> Iterator[Diagnostic]:
+    index = ctx.index
+    emitted = 0
+    for access in index.tasks:
+        for lines, what, field in ((access.flush_set, "flush (WB)",
+                                    "flush_lines"),
+                                   (access.input_set, "invalidate (INV)",
+                                    "input_lines")):
+            for line in sorted(lines):
+                if ctx.domain.is_swcc(line):
+                    continue
+                emitted += 1
+                if emitted > ctx.max_diagnostics_per_rule:
+                    return
+                yield Diagnostic(
+                    rule=RULE.id, severity=RULE.severity,
+                    phase=access.phase,
+                    phase_name=index.phase_name(access.phase),
+                    task=access.task, line=line,
+                    message=(f"software {what} targets an HWcc-domain "
+                             "line; the directory already keeps it "
+                             "coherent, so the instruction is statically "
+                             "useless work"),
+                    hint=(f"drop line {line:#x} from the task's {field}, "
+                          "or move the data to the incoherent heap "
+                          "(coh_malloc) if software management is "
+                          "intended"))
+
+
+RULE = Rule(
+    id="COH004",
+    name="domain-misuse",
+    severity=Severity.WARNING,
+    summary="WB/INV instruction aimed at a hardware-coherent line",
+    check=check,
+)

@@ -1,0 +1,51 @@
+"""COH005: the same line is flushed or invalidated twice by one task.
+
+The second WB of a line a task already flushed finds it clean and the
+second INV finds it gone -- both are wasted instructions (and wasted L2
+port slots) that dilute the useful-coherence-op fraction of Figure 3.
+The shipped kernels deduplicate via set-backed task sketches; duplicates
+typically appear when a hand-built task appends per-word flushes for a
+multi-word line.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterator
+
+from repro.lint.diagnostics import Diagnostic, Severity
+from repro.lint.model import LintContext
+from repro.lint.rules import Rule
+
+
+def check(ctx: LintContext) -> Iterator[Diagnostic]:
+    index = ctx.index
+    emitted = 0
+    for access in index.tasks:
+        for issued, what, field in ((access.flushes, "flushes", "flush_lines"),
+                                    (access.invalidates, "invalidates",
+                                     "input_lines")):
+            for line, count in sorted(Counter(issued).items()):
+                if count < 2:
+                    continue
+                emitted += 1
+                if emitted > ctx.max_diagnostics_per_rule:
+                    return
+                yield Diagnostic(
+                    rule=RULE.id, severity=RULE.severity,
+                    phase=access.phase,
+                    phase_name=index.phase_name(access.phase),
+                    task=access.task, line=line,
+                    message=(f"task {what} line {count} times; every "
+                             "repeat after the first is a wasted "
+                             "coherence instruction"),
+                    hint=f"deduplicate the task's {field}")
+
+
+RULE = Rule(
+    id="COH005",
+    name="redundant-op",
+    severity=Severity.WARNING,
+    summary="duplicate flush/invalidate of one line within a task",
+    check=check,
+)

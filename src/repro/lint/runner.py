@@ -1,0 +1,90 @@
+"""Drive the rule set over one program.
+
+:func:`lint_program` is the core entry point: index the program once,
+resolve the domain model, run every requested rule, and return a
+:class:`~repro.lint.diagnostics.LintReport`. :func:`lint_workload`
+wraps the whole pipeline for one named kernel -- build a machine for
+the policy, build the workload's program on it (which allocates the
+real addresses the region tables will judge), and lint the result --
+which is what the ``repro lint`` CLI command and the test-suite
+acceptance gate both call.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Tuple
+
+from repro.lint.diagnostics import LintReport
+from repro.lint.model import DomainModel, LintContext, ProgramIndex
+from repro.lint.rules import ALL_RULES
+from repro.runtime.program import Program
+from repro.types import PolicyKind
+
+
+def lint_program(program: Program, machine=None,
+                 domain: Optional[DomainModel] = None,
+                 rules: Optional[Iterable[str]] = None,
+                 max_diagnostics_per_rule: int = 200) -> LintReport:
+    """Statically check ``program`` against the SWcc protocol rules.
+
+    The coherence domains are taken from ``domain`` if given, otherwise
+    resolved from ``machine``'s region tables; exactly one of the two
+    must be provided. The simulator is never invoked.
+    """
+    if domain is None:
+        if machine is None:
+            raise ValueError("lint_program needs a machine or a DomainModel")
+        domain = DomainModel.of_machine(machine)
+    selected = _select_rules(rules)
+    index = ProgramIndex.of_program(program)
+    ctx = LintContext(program=program, index=index, domain=domain,
+                      max_diagnostics_per_rule=max_diagnostics_per_rule)
+    report = LintReport(program=program.name,
+                        policy=domain.kind.value,
+                        rules_run=[rule.id for rule in selected])
+    for rule in selected:
+        report.diagnostics.extend(rule.check(ctx))
+    report.diagnostics.sort(
+        key=lambda d: (d.rule, d.phase or 0, d.task or 0, d.line or 0))
+    if index.has_after_hooks and domain.kind is PolicyKind.COHESION:
+        report.notes.append(
+            "program has Phase.after hooks; if they re-map coherence "
+            "domains at runtime the static domain model only reflects the "
+            "boot-time region tables")
+    return report
+
+
+def lint_workload(name: str, policy=None, exp=None,
+                  rules: Optional[Iterable[str]] = None
+                  ) -> Tuple[LintReport, Program, "object"]:
+    """Build ``name``'s program for ``policy`` and lint it.
+
+    Returns ``(report, program, machine)`` so callers (the CLI's
+    cross-check path, tests) can hand the untouched pair straight to the
+    simulator for dynamic confirmation.
+    """
+    from repro.analysis.experiments import ExperimentConfig
+    from repro.config import Policy
+    from repro.sim.machine import Machine
+    from repro.workloads import get_workload
+
+    policy = policy or Policy.cohesion()
+    exp = exp or ExperimentConfig.from_env()
+    machine = Machine(exp.machine_config(), policy)
+    workload = get_workload(name, scale=exp.scale, seed=exp.seed)
+    program = workload.build(machine)
+    report = lint_program(program, machine=machine, rules=rules)
+    return report, program, machine
+
+
+def _select_rules(rules: Optional[Iterable[str]]):
+    if rules is None:
+        return list(ALL_RULES.values())
+    selected = []
+    for rule_id in rules:
+        key = rule_id.upper()
+        if key not in ALL_RULES:
+            known = ", ".join(ALL_RULES)
+            raise KeyError(f"unknown lint rule {rule_id!r}; known: {known}")
+        selected.append(ALL_RULES[key])
+    return selected

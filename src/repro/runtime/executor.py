@@ -24,6 +24,7 @@ import heapq
 from typing import List, Set
 
 from repro.errors import SimulationError
+from repro.mem.address import LINE_BYTES, LINE_SHIFT
 from repro.runtime.program import Phase, Program
 from repro.sim.stats import RunStats, collect_stats
 from repro.types import (OP_ATOMIC, OP_BARRIER, OP_COMPUTE, OP_IFETCH,
@@ -155,7 +156,7 @@ class BspExecutor:
         layout = machine.layout
         ops: List[tuple] = []
         for i in range(phase.code_lines):
-            ops.append((OP_IFETCH, phase.code_addr + 32 * i))
+            ops.append((OP_IFETCH, phase.code_addr + LINE_BYTES * i))
         if task.stack_words:
             base, size = layout.stack_region(core)
             state = self._stack_cursors
@@ -167,12 +168,13 @@ class BspExecutor:
             state[core] = (cursor + 4 * task.stack_words) % size
         ops.extend(task.ops)
         for line in task.flush_lines:
-            ops.append((OP_WB, line << 5))
+            ops.append((OP_WB, line << LINE_SHIFT))
         return ops
 
     def _barrier_ops(self, state: _CoreState) -> List[tuple]:
         """Lazy input invalidations followed by the barrier atomic."""
-        ops: List[tuple] = [(OP_INV, line << 5) for line in sorted(state.inputs)]
+        ops: List[tuple] = [(OP_INV, line << LINE_SHIFT)
+                            for line in sorted(state.inputs)]
         state.inputs.clear()
         ops.append((OP_ATOMIC, self._barrier_addr))
         return ops
@@ -203,9 +205,9 @@ class BspExecutor:
             elif kind == OP_IFETCH:
                 now = cluster.ifetch(local, op[1], now)
             elif kind == OP_WB:
-                now = cluster.flush_line(local, op[1] >> 5, now)
+                now = cluster.flush_line(local, op[1] >> LINE_SHIFT, now)
             elif kind == OP_INV:
-                now = cluster.invalidate_line(local, op[1] >> 5, now)
+                now = cluster.invalidate_line(local, op[1] >> LINE_SHIFT, now)
             elif kind == OP_BARRIER:
                 raise SimulationError("explicit barrier ops are not allowed "
                                       "inside tasks; phases imply barriers")

@@ -81,3 +81,17 @@ class Program:
     @property
     def total_ops(self) -> int:
         return sum(phase.total_ops for phase in self.phases)
+
+    def lint(self, machine=None, domain=None, rules=None):
+        """Statically check this program's software coherence protocol.
+
+        Runs the :mod:`repro.lint` rules (COH001..COH005) against the
+        op streams without simulating anything; domains are resolved
+        from ``machine``'s region tables (or an explicit
+        :class:`~repro.lint.model.DomainModel`). Returns a
+        :class:`~repro.lint.diagnostics.LintReport`.
+        """
+        from repro.lint import lint_program  # avoid an import cycle
+
+        return lint_program(self, machine=machine, domain=domain,
+                            rules=rules)

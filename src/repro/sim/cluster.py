@@ -32,7 +32,8 @@ from typing import List, Optional, Tuple
 from repro.config import MachineConfig, Policy
 from repro.core.cohesion import MemorySystem
 from repro.errors import ProtocolError
-from repro.mem.address import FULL_WORD_MASK
+from repro.mem.address import (FULL_WORD_MASK, LINE_SHIFT, WORD_SHIFT,
+                               WORDS_PER_LINE)
 from repro.mem.cache import Cache, CacheLine
 from repro.timing import Resource
 from repro.types import MessageType, PolicyKind
@@ -159,8 +160,8 @@ class Cluster:
 
     def load(self, core: int, addr: int, now: float) -> Tuple[float, int]:
         """Load one word; returns (finish time, value or 0)."""
-        line = addr >> 5
-        word = (addr >> 2) & 7
+        line = addr >> LINE_SHIFT
+        word = (addr >> WORD_SHIFT) & (WORDS_PER_LINE - 1)
         bit = 1 << word
         l1 = self.l1d[core]
         e1 = l1.lookup(line)
@@ -183,8 +184,8 @@ class Cluster:
 
     def store(self, core: int, addr: int, value: int, now: float) -> float:
         """Store one word; returns the finish time at the core."""
-        line = addr >> 5
-        word = (addr >> 2) & 7
+        line = addr >> LINE_SHIFT
+        word = (addr >> WORD_SHIFT) & (WORDS_PER_LINE - 1)
         l1 = self.l1d[core]
         e1 = l1.peek(line)
         if e1 is not None and e1.data is not None:
@@ -230,7 +231,7 @@ class Cluster:
 
     def ifetch(self, core: int, addr: int, now: float) -> float:
         """Instruction fetch through the core's L1I."""
-        line = addr >> 5
+        line = addr >> LINE_SHIFT
         l1 = self.l1i[core]
         if l1.lookup(line) is not None:
             return now + 1

@@ -38,6 +38,8 @@ from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, List, Optional, Sequence
 
 from repro.errors import ConfigError
+from repro.mem.address import (WORD_BYTES, line_base, line_of,
+                               lines_in_range)
 from repro.runtime.program import Phase, Program, Task
 from repro.types import OP_ATOMIC, OP_COMPUTE, OP_LOAD, OP_STORE, PolicyKind
 
@@ -57,11 +59,11 @@ class Buffer:
 
     @property
     def base_line(self) -> int:
-        return self.addr >> 5
+        return line_of(self.addr)
 
     @property
     def n_lines(self) -> int:
-        return (self.size + 31) // 32
+        return len(lines_in_range(self.addr, self.size)) if self.size else 0
 
     def line(self, index: int) -> int:
         return self.base_line + index
@@ -71,7 +73,7 @@ class Buffer:
         return range(self.base_line + start, self.base_line + start + count)
 
     def word_addr(self, word_index: int) -> int:
-        return self.addr + 4 * word_index
+        return self.addr + WORD_BYTES * word_index
 
 
 class TaskSketch:
@@ -94,9 +96,9 @@ class TaskSketch:
         shadow = wl.shadow
         sw = wl.sw_managed(buf) and buf.inv_reads
         for line in lines:
-            base = line << 5
+            base = line_base(line)
             for w in range(words_per_line):
-                addr = base + 4 * w
+                addr = base + WORD_BYTES * w
                 if track and addr in shadow:
                     self.ops.append((OP_LOAD, addr, shadow[addr]))
                 else:
@@ -118,7 +120,7 @@ class TaskSketch:
             else:
                 self.ops.append((OP_LOAD, addr))
             if sw:
-                self.inputs.add(addr >> 5)
+                self.inputs.add(line_of(addr))
 
     # -- writes -----------------------------------------------------------------
     def write(self, buf: Buffer, lines: Iterable[int], words_per_line: int = 2,
@@ -127,9 +129,9 @@ class TaskSketch:
         wl = self.wl
         sw = wl.sw_managed(buf)
         for line in lines:
-            base = line << 5
+            base = line_base(line)
             for w in range(words_per_line):
-                addr = base + 4 * w
+                addr = base + WORD_BYTES * w
                 self._store(addr, value_fn)
             if sw:
                 self.flushes.add(line)
@@ -144,7 +146,7 @@ class TaskSketch:
             addr = buf.word_addr(index)
             self._store(addr, value_fn)
             if sw:
-                line = addr >> 5
+                line = line_of(addr)
                 self.flushes.add(line)
                 if buf.inv_writes:
                     self.inputs.add(line)

@@ -48,7 +48,13 @@ class KMeans(Workload):
         centroids = self.alloc("centroids", max(64, _K * 8), "sw",
                                inv_reads=True, inv_writes=True,
                                init=lambda w: (w * 33 + 1) & 0xFFFF)
-        acc = self.alloc("acc", max(64, _ACC_WORDS * 4), "hw")
+        # inv_reads matters only under pure SWcc, where the shared
+        # accumulators are software-managed like everything else: the
+        # update tasks' cached reads of ``acc`` go stale as the next
+        # iteration's atomics rewrite it at the L3, so they must be
+        # dropped at the barrier (found by lint rule COH002).
+        acc = self.alloc("acc", max(64, _ACC_WORDS * 4), "hw",
+                         inv_reads=True)
         partials = None
         if not atomic_mode:
             partials = self.alloc("partials", n_tasks * _ACC_WORDS * 4, "hw")

@@ -68,6 +68,42 @@ class TestDetection:
         violations = InvariantChecker(machine).check()
         assert any(v.invariant == "l1-inclusion" for v in violations)
 
+    def test_dirty_but_not_modified(self):
+        machine = make_machine(Policy.hwcc_ideal())
+        machine.clusters[0].load(0, HEAP, 0.0)     # directory: SHARED
+        entry = machine.clusters[0].l2.peek(HEAP >> 5)
+        entry.dirty_mask = 0b1                     # dirtied behind its back
+        violations = InvariantChecker(machine).check()
+        assert any(v.invariant == "single-writer"
+                   and "not MODIFIED" in v.detail for v in violations)
+
+    def test_modified_with_extra_sharer(self):
+        machine = make_machine(Policy.hwcc_ideal())
+        machine.clusters[0].store(0, HEAP, 1, 0.0)  # directory: MODIFIED
+        dentry = machine.memsys.directory_of(HEAP >> 5).get(HEAP >> 5)
+        dentry.sharers |= 1 << 1                   # phantom second sharer
+        violations = InvariantChecker(machine).check()
+        kinds = {v.invariant for v in violations}
+        assert "single-writer" in kinds and "stale-sharer" in kinds
+
+    def test_incoherent_holder_of_tracked_line(self):
+        machine = make_machine(Policy.cohesion())
+        machine.clusters[0].load(0, HEAP, 0.0)     # coherent heap line
+        entry = machine.clusters[0].l2.peek(HEAP >> 5)
+        entry.incoherent = True                    # domain bit corrupted
+        violations = InvariantChecker(machine).check()
+        kinds = {v.invariant for v in violations}
+        assert "stale-sharer" in kinds and "domain-agreement" in kinds
+
+    def test_l1_orphan_after_l2_corruption(self):
+        machine = make_machine(Policy.cohesion())
+        machine.clusters[0].load(0, HEAP, 0.0)
+        machine.clusters[1].load(0, HEAP, 0.0)
+        machine.clusters[1].l2.remove(HEAP >> 5)   # drop L2, keep L1
+        violations = InvariantChecker(machine).check()
+        kinds = {v.invariant for v in violations}
+        assert "l1-inclusion" in kinds and "stale-sharer" in kinds
+
     def test_swcc_purity(self):
         machine = make_machine(Policy.swcc())
         entry, _ = machine.clusters[0].l2.allocate(HEAP >> 5)

@@ -1,0 +1,110 @@
+"""Dynamic confirmation: every static finding is a true positive.
+
+For each corrupted program the linter flags, a fully-instrumented
+simulation (barrier invariant audits, per-line tracing, checked loads,
+the final ``verify_expected`` sweep, and the WB/INV efficiency counters)
+must exhibit the predicted failure: broken data for the COH001-COH003
+errors, wasted coherence work for the COH004/COH005 warnings.
+"""
+
+from repro import Policy
+from repro.lint import lint_program, run_with_oracles, watched_lines
+from repro.mem.address import line_of
+from repro.types import OP_ATOMIC, OP_COMPUTE, OP_LOAD, OP_STORE
+
+from tests.conftest import make_machine
+from tests.lint.conftest import phase, program, swcc_setup, task
+
+
+class TestTruePositives:
+    def test_coh001_missing_flush_loses_update(self):
+        machine, addr, line = swcc_setup(value=5)
+        prog = program(
+            phase("produce", task([(OP_STORE, addr, 7)])),  # never flushed
+            phase("reduce", task([(OP_ATOMIC, addr, 1)])))
+        prog.expected = {addr: 8}
+        [diag] = lint_program(prog, machine=machine).by_rule("COH001")
+        run = run_with_oracles(machine, prog, watch=watched_lines([diag]))
+        # The atomic read-modify-wrote the stale memory value: the
+        # store's 7 never reached the L3, so 5+1 ran instead of 7+1.
+        assert run.data_broken
+        assert run.confirms(diag)
+
+    def test_coh002_stale_cached_read(self):
+        machine, addr, line = swcc_setup(value=5)
+        prog = program(
+            phase("warm", task([(OP_LOAD, addr, 5)])),      # never invalidated
+            phase("publish", task([(OP_ATOMIC, addr, 1)])),
+            phase("reread", task([(OP_LOAD, addr, 6)], inputs=[line])))
+        prog.expected = {addr: 6}
+        [diag] = lint_program(prog, machine=machine).by_rule("COH002")
+        run = run_with_oracles(machine, prog, watch=watched_lines([diag]))
+        # The re-read hit the phase-0 cached copy and observed 5, not 6.
+        assert (addr, 6, 5) in run.mismatches
+        assert run.confirms(diag)
+
+    def test_coh003_intra_phase_race_observed(self):
+        machine, addr, line = swcc_setup(value=5)
+        racer = task([(OP_COMPUTE, 20_000), (OP_STORE, addr, 9)],
+                     flushes=[line])
+        reader = task([(OP_LOAD, addr, 9)])
+        prog = program(phase("race", racer, reader))
+        prog.expected = {addr: 9}
+        [diag] = lint_program(prog, machine=machine).by_rule("COH003")
+        run = run_with_oracles(machine, prog, watch=watched_lines([diag]))
+        # The reader ran long before the delayed store it depends on.
+        assert (addr, 9, 5) in run.mismatches
+        assert run.confirms(diag)
+
+    def test_coh004_useless_flush_of_hwcc_line(self):
+        machine = make_machine(Policy.cohesion(), n_clusters=1)
+        addr = machine.api.malloc(64)
+        hw_line = line_of(addr)
+        prog = program(phase(
+            "p", task([(OP_LOAD, addr)], flushes=[hw_line])))
+        [diag] = lint_program(prog, machine=machine).by_rule("COH004")
+        run = run_with_oracles(machine, prog, watch=[hw_line])
+        # The WB found a hardware-maintained (clean) copy: pure waste.
+        assert run.clean_wb >= 1
+        assert run.confirms(diag)
+        assert not run.protocol_broken
+
+    def test_coh005_duplicate_flush_wastes_wb(self):
+        machine, addr, line = swcc_setup(value=5)
+        prog = program(phase(
+            "p", task([(OP_STORE, addr, 7)], flushes=[line, line])))
+        prog.expected = {addr: 7}
+        [diag] = lint_program(prog, machine=machine).by_rule("COH005")
+        run = run_with_oracles(machine, prog, watch=[line])
+        # The second WB found the line already clean.
+        assert run.clean_wb >= 1
+        assert run.confirms(diag)
+        assert not run.data_broken
+
+
+class TestCleanControl:
+    def test_correct_program_runs_clean(self):
+        machine, addr, line = swcc_setup(value=5)
+        prog = program(
+            phase("produce", task([(OP_STORE, addr, 7)], flushes=[line])),
+            phase("consume", task([(OP_LOAD, addr, 7)], inputs=[line])))
+        prog.expected = {addr: 7}
+        assert lint_program(prog, machine=machine).clean
+        run = run_with_oracles(machine, prog, watch=[line])
+        assert not run.protocol_broken
+        assert run.wasted_wb == 0 and run.clean_wb == 0
+        assert run.wasted_inv == 0
+        # The tracer saw the store, the flush, and the lazy invalidate.
+        kinds = {event.kind for event in run.trace.events}
+        assert {"store", "flush", "inv"} <= kinds
+
+    def test_oracle_attaches_checker_to_every_barrier(self):
+        machine, addr, line = swcc_setup(value=5)
+        prog = program(
+            phase("a", task([(OP_LOAD, addr, 5)])),
+            phase("b", task([(OP_LOAD, addr, 5)])))
+        run = run_with_oracles(machine, prog, trace=False)
+        # Two phase barriers plus the final explicit audit.
+        assert run.stats.barriers == 2
+        assert not run.violations
+        assert run.trace is None

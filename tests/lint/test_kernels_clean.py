@@ -1,0 +1,26 @@
+"""Acceptance gate: every shipped kernel lints clean under every policy.
+
+The kernels annotate their buffers with exactly the flush/invalidate
+behaviour the Task-Centric Memory Model requires, so the static rules
+must find nothing -- under pure SWcc (everything software-managed),
+pure HWcc (nothing is), and Cohesion (only the incoherent heap is).
+"""
+
+import pytest
+
+from repro.analysis.experiments import ExperimentConfig
+from repro.cli import policy_from_name
+from repro.lint import RULE_IDS, lint_workload
+from repro.workloads import ALL_WORKLOADS
+
+EXP = ExperimentConfig(n_clusters=1, scale=0.2)
+
+
+@pytest.mark.parametrize("policy_name", ["swcc", "hwcc-ideal", "cohesion"])
+@pytest.mark.parametrize("name", ALL_WORKLOADS)
+def test_kernel_lints_clean(name, policy_name):
+    report, program, machine = lint_workload(
+        name, policy=policy_from_name(policy_name), exp=EXP)
+    assert report.clean, report.format()
+    assert report.rules_run == list(RULE_IDS)
+    assert program.total_tasks > 0

@@ -1,0 +1,303 @@
+"""Each lint rule against minimal corrupted programs and their clean twins."""
+
+import json
+
+import pytest
+
+from repro import Policy
+from repro.lint import DomainModel, Severity, lint_program
+from repro.mem.address import WORD_BYTES, line_of
+from repro.types import (OP_ATOMIC, OP_INV, OP_LOAD, OP_STORE, OP_WB,
+                         PolicyKind)
+
+from tests.conftest import make_machine
+from tests.lint.conftest import (cohesion_setup, phase, program, rule_ids,
+                                 swcc_setup, task)
+
+
+class TestCOH001MissingFlush:
+    def test_unflushed_store_read_later(self):
+        machine, addr, line = swcc_setup()
+        prog = program(
+            phase("produce", task([(OP_STORE, addr, 7)])),
+            phase("consume", task([(OP_LOAD, addr)], inputs=[line])))
+        report = lint_program(prog, machine=machine)
+        assert rule_ids(report) == ["COH001"]
+        [diag] = report.diagnostics
+        assert diag.severity is Severity.ERROR
+        assert diag.phase == 0 and diag.task == 0 and diag.line == line
+
+    def test_flush_silences(self):
+        machine, addr, line = swcc_setup()
+        prog = program(
+            phase("produce", task([(OP_STORE, addr, 7)], flushes=[line])),
+            phase("consume", task([(OP_LOAD, addr)], inputs=[line])))
+        assert lint_program(prog, machine=machine).clean
+
+    def test_inline_wb_counts_as_flush(self):
+        machine, addr, line = swcc_setup()
+        prog = program(
+            phase("produce", task([(OP_STORE, addr, 7), (OP_WB, addr)])),
+            phase("consume", task([(OP_LOAD, addr)], inputs=[line])))
+        assert lint_program(prog, machine=machine).clean
+
+    def test_atomic_consumer_counts(self):
+        # An uncached atomic reads the line's memory value at the L3, so
+        # an unflushed store feeding it is just as lost.
+        machine, addr, line = swcc_setup()
+        prog = program(
+            phase("produce", task([(OP_STORE, addr, 7)])),
+            phase("reduce", task([(OP_ATOMIC, addr, 1)])))
+        assert rule_ids(lint_program(prog, machine=machine)) == ["COH001"]
+
+    def test_unconsumed_store_is_fine(self):
+        machine, addr, line = swcc_setup()
+        prog = program(phase("produce", task([(OP_STORE, addr, 7)])))
+        assert lint_program(prog, machine=machine).clean
+
+
+class TestCOH002MissingInvalidate:
+    def _three_phase(self, machine, addr, line, warm_inputs):
+        return program(
+            phase("warm", task([(OP_LOAD, addr)], inputs=warm_inputs)),
+            phase("publish", task([(OP_ATOMIC, addr, 1)])),
+            phase("reread", task([(OP_LOAD, addr)], inputs=[line])))
+
+    def test_stale_cached_copy(self):
+        machine, addr, line = swcc_setup()
+        prog = self._three_phase(machine, addr, line, warm_inputs=[])
+        report = lint_program(prog, machine=machine)
+        assert rule_ids(report) == ["COH002"]
+        [diag] = report.diagnostics
+        assert diag.phase == 0 and diag.line == line
+        assert diag.severity is Severity.ERROR
+
+    def test_invalidate_silences(self):
+        machine, addr, line = swcc_setup()
+        prog = self._three_phase(machine, addr, line, warm_inputs=[line])
+        assert lint_program(prog, machine=machine).clean
+
+    def test_flushed_store_publisher_also_trips(self):
+        machine, addr, line = swcc_setup()
+        prog = program(
+            phase("warm", task([(OP_LOAD, addr)])),
+            phase("publish", task([(OP_STORE, addr, 9)], flushes=[line])),
+            phase("reread", task([(OP_LOAD, addr)], inputs=[line])))
+        assert rule_ids(lint_program(prog, machine=machine)) == ["COH002"]
+
+    def test_no_rewrite_is_fine(self):
+        machine, addr, line = swcc_setup()
+        prog = program(
+            phase("warm", task([(OP_LOAD, addr)])),
+            phase("reread", task([(OP_LOAD, addr)])))
+        assert lint_program(prog, machine=machine).clean
+
+    def test_no_later_read_is_fine(self):
+        # Cached copy goes stale but nobody ever cache-reads it again.
+        machine, addr, line = swcc_setup()
+        prog = program(
+            phase("warm", task([(OP_LOAD, addr)])),
+            phase("publish", task([(OP_ATOMIC, addr, 1)])))
+        assert lint_program(prog, machine=machine).clean
+
+
+class TestCOH003IntraPhaseRace:
+    def test_store_store_conflict(self):
+        machine, addr, line = swcc_setup()
+        prog = program(phase(
+            "race",
+            task([(OP_STORE, addr, 1)], flushes=[line]),
+            task([(OP_STORE, addr, 2)], flushes=[line])))
+        report = lint_program(prog, machine=machine)
+        assert rule_ids(report) == ["COH003"]
+        [diag] = report.diagnostics
+        assert diag.severity is Severity.ERROR and diag.line == line
+
+    def test_store_load_conflict(self):
+        machine, addr, line = swcc_setup()
+        prog = program(phase(
+            "race",
+            task([(OP_STORE, addr, 1)], flushes=[line]),
+            task([(OP_LOAD, addr)])))
+        assert rule_ids(lint_program(prog, machine=machine)) == ["COH003"]
+
+    def test_store_atomic_conflict(self):
+        machine, addr, line = swcc_setup()
+        prog = program(phase(
+            "race",
+            task([(OP_STORE, addr, 1)], flushes=[line]),
+            task([(OP_ATOMIC, addr, 1)])))
+        assert rule_ids(lint_program(prog, machine=machine)) == ["COH003"]
+
+    def test_disjoint_words_of_one_line_ok(self):
+        # Per-word dirty masks merge safely at the L3: tasks may share a
+        # line as long as they write disjoint words.
+        machine, addr, line = swcc_setup()
+        prog = program(phase(
+            "split",
+            task([(OP_STORE, addr, 1)], flushes=[line]),
+            task([(OP_STORE, addr + WORD_BYTES, 2)], flushes=[line])))
+        assert lint_program(prog, machine=machine).clean
+
+    def test_atomic_atomic_ok(self):
+        machine, addr, line = swcc_setup()
+        prog = program(phase(
+            "reduce",
+            task([(OP_ATOMIC, addr, 1)]),
+            task([(OP_ATOMIC, addr, 1)])))
+        assert lint_program(prog, machine=machine).clean
+
+    def test_load_load_ok(self):
+        machine, addr, line = swcc_setup()
+        prog = program(phase(
+            "readers",
+            task([(OP_LOAD, addr)]),
+            task([(OP_LOAD, addr)])))
+        assert lint_program(prog, machine=machine).clean
+
+    def test_same_task_not_a_race(self):
+        machine, addr, line = swcc_setup()
+        prog = program(phase(
+            "rmw", task([(OP_LOAD, addr), (OP_STORE, addr, 3)],
+                        flushes=[line])))
+        assert lint_program(prog, machine=machine).clean
+
+
+class TestCOH004DomainMisuse:
+    def test_flush_of_hwcc_line_warns(self):
+        machine, sw_addr, hw_addr = cohesion_setup()
+        prog = program(phase(
+            "p", task([(OP_LOAD, hw_addr)], flushes=[line_of(hw_addr)])))
+        report = lint_program(prog, machine=machine)
+        assert rule_ids(report) == ["COH004"]
+        [diag] = report.diagnostics
+        assert diag.severity is Severity.WARNING
+        assert diag.line == line_of(hw_addr)
+
+    def test_invalidate_of_hwcc_line_warns(self):
+        machine, sw_addr, hw_addr = cohesion_setup()
+        prog = program(phase(
+            "p", task([(OP_LOAD, hw_addr)], inputs=[line_of(hw_addr)])))
+        assert rule_ids(lint_program(prog, machine=machine)) == ["COH004"]
+
+    def test_sw_line_ops_fine(self):
+        machine, sw_addr, hw_addr = cohesion_setup()
+        line = line_of(sw_addr)
+        prog = program(
+            phase("w", task([(OP_STORE, sw_addr, 1)], flushes=[line])),
+            phase("r", task([(OP_LOAD, sw_addr)], inputs=[line])))
+        assert lint_program(prog, machine=machine).clean
+
+    def test_coarse_region_is_swcc(self):
+        # Globals live in a boot-time coarse SWcc region, so software
+        # coherence ops aimed there are legitimate under Cohesion.
+        machine, _sw, _hw = cohesion_setup()
+        addr = machine.runtime.static_alloc(64)
+        line = line_of(addr)
+        prog = program(
+            phase("w", task([(OP_STORE, addr, 1)], flushes=[line])),
+            phase("r", task([(OP_LOAD, addr)], inputs=[line])))
+        assert lint_program(prog, machine=machine).clean
+
+    def test_everything_warns_on_pure_hwcc(self):
+        machine = make_machine(Policy.hwcc_ideal(), n_clusters=1)
+        addr = machine.api.malloc(64)
+        prog = program(phase(
+            "p", task([(OP_LOAD, addr)], flushes=[line_of(addr)])))
+        assert rule_ids(lint_program(prog, machine=machine)) == ["COH004"]
+
+
+class TestCOH005RedundantOp:
+    def test_duplicate_flush_warns(self):
+        machine, addr, line = swcc_setup()
+        prog = program(phase(
+            "p", task([(OP_STORE, addr, 7)], flushes=[line, line])))
+        report = lint_program(prog, machine=machine)
+        assert rule_ids(report) == ["COH005"]
+        [diag] = report.diagnostics
+        assert diag.severity is Severity.WARNING and diag.line == line
+
+    def test_duplicate_invalidate_warns(self):
+        machine, addr, line = swcc_setup()
+        prog = program(phase(
+            "p", task([(OP_LOAD, addr)], inputs=[line, line])))
+        assert rule_ids(lint_program(prog, machine=machine)) == ["COH005"]
+
+    def test_inline_wb_plus_flush_list_warns(self):
+        machine, addr, line = swcc_setup()
+        prog = program(phase(
+            "p", task([(OP_STORE, addr, 7), (OP_WB, addr)], flushes=[line])))
+        assert rule_ids(lint_program(prog, machine=machine)) == ["COH005"]
+
+    def test_single_ops_clean(self):
+        machine, addr, line = swcc_setup()
+        prog = program(phase(
+            "p", task([(OP_STORE, addr, 7)], flushes=[line], inputs=[line])))
+        assert lint_program(prog, machine=machine).clean
+
+
+class TestFramework:
+    def test_program_lint_method(self):
+        machine, addr, line = swcc_setup()
+        prog = program(phase("p", task([(OP_STORE, addr, 7)])))
+        report = prog.lint(machine=machine)
+        assert report.clean and report.program == "synthetic"
+
+    def test_rule_selection(self):
+        machine, addr, line = swcc_setup()
+        prog = program(
+            phase("produce", task([(OP_STORE, addr, 7)])),
+            phase("consume", task([(OP_LOAD, addr)], inputs=[line, line])))
+        full = lint_program(prog, machine=machine)
+        assert rule_ids(full) == ["COH001", "COH005"]
+        only = lint_program(prog, machine=machine, rules=["coh005"])
+        assert rule_ids(only) == ["COH005"]
+        assert only.rules_run == ["COH005"]
+
+    def test_unknown_rule_rejected(self):
+        machine, addr, line = swcc_setup()
+        prog = program(phase("p", task([(OP_LOAD, addr)])))
+        with pytest.raises(KeyError, match="COH999"):
+            lint_program(prog, machine=machine, rules=["COH999"])
+
+    def test_needs_machine_or_domain(self):
+        prog = program(phase("p", task([])))
+        with pytest.raises(ValueError):
+            lint_program(prog)
+
+    def test_explicit_domain_model(self):
+        # A DomainModel stands in for the machine: pure SWcc needs no
+        # region tables at all.
+        prog = program(
+            phase("produce", task([(OP_STORE, 0x2000_0000, 7)])),
+            phase("consume", task([(OP_LOAD, 0x2000_0000)],
+                                  inputs=[line_of(0x2000_0000)])))
+        domain = DomainModel(PolicyKind.SWCC)
+        assert rule_ids(lint_program(prog, domain=domain)) == ["COH001"]
+
+    def test_report_text_and_json(self):
+        machine, addr, line = swcc_setup()
+        prog = program(
+            phase("produce", task([(OP_STORE, addr, 7)])),
+            phase("consume", task([(OP_LOAD, addr)], inputs=[line])))
+        report = lint_program(prog, machine=machine)
+        text = report.format()
+        assert "COH001" in text and "1 error(s), 0 warning(s)" in text
+        data = json.loads(report.to_json())
+        assert data["errors"] == 1 and data["clean"] is False
+        assert data["diagnostics"][0]["rule"] == "COH001"
+        assert data["diagnostics"][0]["hint"]
+
+    def test_diagnostics_sorted_and_capped(self):
+        machine, addr, line = swcc_setup()
+        phases = [phase("w", task([(OP_STORE, addr + 32 * i, 1)]))
+                  for i in range(5)]
+        phases.append(phase("r", task(
+            [(OP_LOAD, addr + 32 * i) for i in range(5)],
+            inputs=[line + i for i in range(5)])))
+        prog = program(*phases)
+        report = lint_program(prog, machine=machine,
+                              max_diagnostics_per_rule=3)
+        assert len(report.by_rule("COH001")) == 3
+        lines = [d.line for d in report.diagnostics]
+        assert lines == sorted(lines)

@@ -60,6 +60,13 @@ class TestCommands:
                      "--scale", "0.1", "--track-data", "--policy", "swcc"])
         assert code == 0
 
+    def test_run_with_check(self, capsys):
+        code = main(["run", "--workload", "sobel", "--clusters", "1",
+                     "--scale", "0.1", "--check"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "invariant checks:" in out and "0 violation(s)" in out
+
     def test_compare_command(self, capsys):
         code = main(["compare", "--workload", "gjk", "--clusters", "1",
                      "--scale", "0.1"])
@@ -95,6 +102,41 @@ class TestCommands:
         for name in ("cg", "dmm", "gjk", "heat", "kmeans", "mri",
                      "sobel", "stencil"):
             assert name in out
+
+    def test_lint_single_workload(self, capsys):
+        code = main(["lint", "sobel", "--clusters", "1", "--scale", "0.2"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "lint sobel [swcc]" in out
+        assert "lint sobel [cohesion]" in out
+        assert "linted 3 program(s): 0 error(s), 0 warning(s)" in out
+
+    def test_lint_all_json(self, capsys):
+        import json
+
+        code = main(["lint", "--all", "--policy", "cohesion", "--json",
+                     "--clusters", "1", "--scale", "0.2"])
+        out = capsys.readouterr().out
+        assert code == 0
+        reports = json.loads(out)
+        assert len(reports) == 8
+        assert all(r["clean"] for r in reports)
+
+    def test_lint_rule_filter(self, capsys):
+        code = main(["lint", "gjk", "--policy", "swcc",
+                     "--rules", "coh001,coh003",
+                     "--clusters", "1", "--scale", "0.1"])
+        assert code == 0
+
+    def test_lint_without_workload_rejected(self, capsys):
+        assert main(["lint"]) == 2
+
+    def test_lint_unknown_rule_clean_error(self, capsys):
+        code = main(["lint", "gjk", "--policy", "swcc", "--clusters", "1",
+                     "--scale", "0.1", "--rules", "COH999"])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "unknown lint rule 'COH999'" in err
 
     def test_figures_single(self, tmp_path, capsys):
         code = main(["figures", "sec44", "--out", str(tmp_path)])
