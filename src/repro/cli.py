@@ -7,7 +7,11 @@ Commands
     (``--check`` audits the protocol invariants at every barrier).
 ``lint``
     Statically check a workload's program against the SWcc coherence
-    rules (COH001..COH005) without simulating anything.
+    rules (COH001..COH006) without simulating anything.
+``mc``
+    Exhaustively model-check the protocol implementation itself: drive
+    the real directory + transition engine through every interleaving
+    of a small preset universe, checking all invariants at every state.
 ``compare``
     Run one workload under all four Section 4.1 design points and print
     the message/runtime/directory comparison.
@@ -172,6 +176,109 @@ def cmd_lint(args) -> int:
            for r in reports for d in r.diagnostics):
         return 2
     return 0
+
+
+def cmd_mc(args) -> int:
+    import json
+
+    from repro.mc import MUTATIONS, PRESETS, explore
+    from repro.mc.trace import load_trace, replay, write_trace
+
+    if args.list_presets:
+        for name, model in PRESETS.items():
+            print(f"{name:10s} {model.description}")
+        return 0
+    if args.list_mutations:
+        for name, mutation in MUTATIONS.items():
+            print(f"{name:24s} {mutation.description}")
+        return 0
+
+    if args.replay:
+        try:
+            payload = load_trace(args.replay)
+        except (OSError, ValueError) as err:
+            print(f"mc: {err}", file=sys.stderr)
+            return 2
+        outcome = replay(payload)
+        if args.json:
+            print(json.dumps(outcome, indent=2))
+        else:
+            print(f"replaying {len(outcome['steps'])} step(s) of "
+                  f"preset {outcome['preset']!r}"
+                  + (f" with mutation {outcome['mutation']!r}"
+                     if outcome["mutation"] else ""))
+            for step in outcome["steps"]:
+                mark = "!" if step["violations"] else " "
+                print(f"  {mark} {step['step']:2d}. {step['action']}")
+                for violation in step["violations"]:
+                    print(f"       {violation}")
+            print("reproduced" if outcome["reproduced"]
+                  else "NOT reproduced")
+        expected = bool(payload.get("violations"))
+        return 0 if outcome["reproduced"] == expected else 1
+
+    model = PRESETS.get(args.preset)
+    if model is None:
+        print(f"mc: unknown preset {args.preset!r} "
+              f"(have: {', '.join(PRESETS)})", file=sys.stderr)
+        return 2
+    if args.mutate is not None and args.mutate not in MUTATIONS:
+        print(f"mc: unknown mutation {args.mutate!r} "
+              f"(have: {', '.join(MUTATIONS)})", file=sys.stderr)
+        return 2
+
+    progress = None
+    if not args.json and not args.quiet:
+        def progress(states, transitions):
+            print(f"  ... {states} states, {transitions} transitions",
+                  file=sys.stderr)
+    result = explore(model, mutation=args.mutate,
+                     max_states=args.max_states, max_depth=args.max_depth,
+                     progress=progress)
+
+    if args.trace_out and result.trace is not None:
+        write_trace(args.trace_out, result)
+    if args.summary:
+        status = "clean" if result.ok else "VIOLATION"
+        if result.exhaustive:
+            coverage = "exhaustive"
+        elif result.truncated_by:
+            coverage = f"truncated by {result.truncated_by}"
+        else:
+            coverage = "stopped at first violation"
+        with open(args.summary, "a", encoding="utf-8") as fh:
+            fh.write(f"| `{result.preset}` | "
+                     f"{result.mutation or '-'} | "
+                     f"{result.states} | {result.transitions} | "
+                     f"{coverage} | {status} |\n")
+
+    if args.json:
+        print(json.dumps(result.as_dict(), indent=2))
+    else:
+        mutated = f" (mutation: {result.mutation})" if result.mutation else ""
+        print(f"preset {result.preset!r}{mutated}: "
+              f"{result.states} canonical states, "
+              f"{result.transitions} transitions, "
+              f"depth {result.max_depth_reached}, "
+              f"{result.races} race(s), {result.elapsed:.2f}s")
+        if result.truncated_by:
+            print(f"  truncated by {result.truncated_by} "
+                  "(exploration is NOT exhaustive)")
+        elif result.exhaustive:
+            print("  frontier closed: exploration is exhaustive")
+        if result.ok:
+            print("  all invariants hold at every explored state")
+        else:
+            print("  INVARIANT VIOLATION -- minimal counterexample "
+                  f"({len(result.trace)} action(s)):")
+            for index, action in enumerate(result.trace, start=1):
+                print(f"    {index:2d}. {action.describe()}")
+            for violation in result.violations:
+                print(f"  {violation}")
+            if args.trace_out:
+                print(f"  trace written to {args.trace_out} "
+                      "(replay with: repro mc --replay)")
+    return 0 if result.ok else 1
 
 
 def cmd_compare(args) -> int:
@@ -367,6 +474,33 @@ def build_parser() -> argparse.ArgumentParser:
                         help="machine-readable output")
     _add_scale_args(p_lint)
     p_lint.set_defaults(func=cmd_lint)
+
+    p_mc = sub.add_parser(
+        "mc", help="exhaustive protocol model checker (real simulator)")
+    p_mc.add_argument("--preset", default="default",
+                      help="model universe to explore (see --list-presets)")
+    p_mc.add_argument("--mutate", default=None, metavar="NAME",
+                      help="inject a known protocol bug first "
+                           "(see --list-mutations)")
+    p_mc.add_argument("--max-states", type=int, default=None,
+                      help="override the preset's canonical-state cap")
+    p_mc.add_argument("--max-depth", type=int, default=None,
+                      help="override the preset's BFS depth cap")
+    p_mc.add_argument("--trace-out", default=None, metavar="FILE",
+                      help="write any counterexample trace as JSON")
+    p_mc.add_argument("--replay", default=None, metavar="FILE",
+                      help="replay a trace file instead of exploring")
+    p_mc.add_argument("--summary", default=None, metavar="FILE",
+                      help="append a markdown summary row (for CI)")
+    p_mc.add_argument("--json", action="store_true",
+                      help="machine-readable output")
+    p_mc.add_argument("--quiet", action="store_true",
+                      help="suppress progress lines on stderr")
+    p_mc.add_argument("--list-presets", action="store_true",
+                      help="list model universes and exit")
+    p_mc.add_argument("--list-mutations", action="store_true",
+                      help="list bug injections and exit")
+    p_mc.set_defaults(func=cmd_mc)
 
     p_cmp = sub.add_parser("compare", help="all four design points")
     p_cmp.add_argument("--workload", choices=ALL_WORKLOADS, required=True)

@@ -204,6 +204,43 @@ class BaseDirectory:
         if entry.sharers == 0:
             entry.broadcast = False
 
+    # -- snapshot / restore -------------------------------------------------
+    def snapshot(self) -> List[tuple]:
+        """Capture every entry as plain tuples, ordered oldest-LRU first.
+
+        Only the LRU *ranking* is preserved (that is all eviction
+        decisions observe), so two banks holding the same entries in the
+        same replacement order produce identical snapshots regardless of
+        how many lookups each has absorbed.
+        """
+        ordered = sorted(self.entries(), key=lambda e: e.lru)
+        return [(e.line, e.state, e.sharers, e.broadcast, e.klass)
+                for e in ordered]
+
+    def restore(self, snap: List[tuple]) -> None:
+        """Reset contents to a :meth:`snapshot`.
+
+        Occupancy accounting restarts from time zero with the restored
+        entry counts; time-weighted statistics accumulated since the
+        snapshot are discarded (the model checker rewinds time anyway).
+        """
+        for line in [e.line for e in self.entries()]:
+            self._delete(line)
+        self._tick = 0
+        self.occupancy = _Occupancy()
+        for line, state, sharers, broadcast, klass in snap:
+            entry = DirectoryEntry(line, klass)
+            entry.state = state
+            entry.sharers = sharers
+            entry.broadcast = broadcast
+            self.touch(entry)
+            if self._insert(entry) is not None:
+                raise ProtocolError(
+                    f"directory restore overflowed a set at {line:#x}")
+            self.occupancy.count += 1
+            self.occupancy.count_by_class[klass] += 1
+        self.occupancy.max_count = self.occupancy.count
+
     def invalidation_targets(self, entry: DirectoryEntry, n_clusters: int,
                              exclude: int = -1) -> Tuple[List[int], bool]:
         """Clusters the directory must probe to invalidate ``entry``.
@@ -255,6 +292,10 @@ class SparseDirectory(BaseDirectory):
         self.n_sets = n_entries // assoc
         self.assoc = assoc
         self.sets: List[Dict[int, DirectoryEntry]] = [dict() for _ in range(self.n_sets)]
+        # Indices of non-empty sets (dict used as an ordered set): banks
+        # have thousands of sets but a handful of active entries, so
+        # whole-bank walks must not touch the empty ones.
+        self._occupied: Dict[int, None] = {}
 
     def _set_of(self, line: int) -> Dict[int, DirectoryEntry]:
         return self.sets[line % self.n_sets]
@@ -269,17 +310,23 @@ class SparseDirectory(BaseDirectory):
             victim_line = min(bucket, key=lambda ln: bucket[ln].lru)
             victim = bucket.pop(victim_line)
         bucket[entry.line] = entry
+        self._occupied[entry.line % self.n_sets] = None
         return victim
 
     def _delete(self, line: int) -> Optional[DirectoryEntry]:
-        return self._set_of(line).pop(line, None)
+        index = line % self.n_sets
+        bucket = self.sets[index]
+        entry = bucket.pop(line, None)
+        if entry is not None and not bucket:
+            self._occupied.pop(index, None)
+        return entry
 
     def entries(self) -> Iterator[DirectoryEntry]:
-        for bucket in self.sets:
-            yield from bucket.values()
+        for index in tuple(self._occupied):
+            yield from self.sets[index].values()
 
     def __len__(self) -> int:
-        return sum(len(bucket) for bucket in self.sets)
+        return sum(len(self.sets[index]) for index in self._occupied)
 
 
 class LimitedPointerDirectory(SparseDirectory):

@@ -110,6 +110,48 @@ class MemorySystem:
             raise ProtocolError("cluster count does not match configuration")
         self.clusters = clusters
 
+    # -- snapshot / restore (model-checker hooks) ---------------------------------
+    def snapshot(self) -> dict:
+        """Capture all protocol-visible memory-side state.
+
+        Covers the L3 data arrays, the directory banks, the fine-table
+        override bits and the backing store. Timing backlog, message
+        counters and occupancy statistics are deliberately excluded: they
+        never influence protocol behaviour, only reported numbers.
+        """
+        return {
+            "l3": [bank.snapshot() for bank in self.l3],
+            "dirs": [d.snapshot() for d in self.dirs],
+            "fine": self.fine.snapshot(),
+            "backing": self.backing.snapshot(),
+        }
+
+    def restore(self, snap: dict) -> None:
+        """Reset protocol state to a :meth:`snapshot` and rewind timing."""
+        for bank, bank_snap in zip(self.l3, snap["l3"]):
+            bank.restore(bank_snap)
+        for bank_dir, dir_snap in zip(self.dirs, snap["dirs"]):
+            bank_dir.restore(dir_snap)
+        if self.dirs:
+            from repro.coherence.directory import _Occupancy
+            self.dir_occupancy = _Occupancy()
+            for bank_dir in self.dirs:
+                bank_dir.global_occupancy = self.dir_occupancy
+                self.dir_occupancy.count += bank_dir.occupancy.count
+                for klass, count in bank_dir.occupancy.count_by_class.items():
+                    self.dir_occupancy.count_by_class[klass] += count
+            self.dir_occupancy.max_count = self.dir_occupancy.count
+        self.fine.restore(snap["fine"])
+        self.backing.restore(snap["backing"])
+        self.reset_contention()
+        self.max_time = 0.0
+
+    def reset_contention(self) -> None:
+        """Drop reserved capacity on every timing resource (stats kept)."""
+        self.bank_ports.reset()
+        self.net.reset_contention()
+        self.dram.reset_contention()
+
     # -- directory helpers -------------------------------------------------------
     def directory_of(self, line: int) -> BaseDirectory:
         return self.dirs[self.map.bank_of_line(line)]

@@ -168,6 +168,15 @@ class FineRegionTable:
         """Byte address of the table word holding ``line``'s bit."""
         return table_entry_addr(self.base_addr, line_base(line))
 
+    # -- snapshot / restore ------------------------------------------------
+    def snapshot(self) -> dict:
+        """Capture the override layer (boot defaults are immutable)."""
+        return dict(self._overrides)
+
+    def restore(self, snap: dict) -> None:
+        """Reset overrides to a :meth:`snapshot` (counters untouched)."""
+        self._overrides = dict(snap)
+
     @property
     def override_count(self) -> int:
         return len(self._overrides)

@@ -17,23 +17,30 @@ other access to the line at its home bank.
 
 **SWcc => HWcc** (Figure 7b)
   The directory has no knowledge of SWcc lines, so it broadcasts a clean
-  request to every cluster; absent clusters nack, clean holders clear
-  their incoherent bit (becoming probeable) and ack, dirty holders report
-  their per-word dirty masks.
+  request to every cluster; absent clusters nack, fully valid clean
+  holders clear their incoherent bit (becoming probeable) and ack, dirty
+  holders report their per-word dirty masks. A *partially* valid clean
+  copy (INV dropped some words) silently invalidates and nacks: word
+  validity is an SWcc-only concept, so such a copy cannot become a
+  coherent sharer.
 
   * Case 1b -- held nowhere: clear the bit, directory stays I.
   * Case 2b -- clean copies only: holders become sharers of a new S entry.
-  * Single dirty copy, no readers: the holder is upgraded to owner (M)
-    in place -- no writeback, saving bandwidth.
+  * Single fully valid dirty copy, no readers: the holder is upgraded to
+    owner (M) in place -- no writeback, saving bandwidth. A partially
+    valid dirty copy takes the merge path instead (write back, invalidate).
   * Dirty with readers / multiple dirty writers: readers invalidate,
     every dirty copy is written back and invalidated; the L3 merges
     disjoint write sets using per-word dirty bits. After this the line
     is in no L2 and the L3 holds the merged value (directory stays I).
   * Case 5b -- overlapping dirty words in two caches: a hardware race
-    caused by buggy software. The directory can signal an exception
-    (:class:`~repro.errors.CoherenceRaceError`, default) or recover by
-    discarding all dirty copies, mimicking the paper's
-    "turn on coherence, then zero" recipe.
+    caused by buggy software. All dirty copies are discarded (mimicking
+    the paper's "turn on coherence, then zero" recipe); the directory
+    then either signals an exception
+    (:class:`~repro.errors.CoherenceRaceError`, default) or recovers
+    silently. Either way the transition completes first, so the
+    post-state is consistent: the line is in no L2, the directory stays
+    I, and memory holds the pre-race value.
 """
 
 from __future__ import annotations
@@ -42,7 +49,7 @@ from typing import TYPE_CHECKING, Dict, List, Tuple
 
 from repro.coherence.directory import DIR_M, DIR_S
 from repro.errors import CoherenceRaceError, ProtocolError
-from repro.mem.address import lines_in_range
+from repro.mem.address import FULL_WORD_MASK, lines_in_range
 from repro.types import Domain
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -108,15 +115,28 @@ class TransitionEngine:
             entry.state = DIR_S
             for holder in clean:
                 ms.dirs[bank].add_sharer(entry, holder)
-        elif len(dirty) == 1 and not clean:
-            # Single modified copy: upgrade in place, no writeback.
+        elif (len(dirty) == 1 and not clean
+              and self._fully_valid(dirty[0][0], line)):
+            # Single fully valid modified copy: upgrade in place, no
+            # writeback. A *partially* valid dirty copy (INV dropped its
+            # clean words) cannot become a coherent line -- word validity
+            # is an SWcc-only concept -- so it takes the merge path
+            # below: dirty words write back and the copy invalidates.
             holder = dirty[0][0]
             ms.clusters[holder].probe_make_coherent(line)
             entry, t = ms._dir_allocate(line, bank, t)
             entry.state = DIR_M
             ms.dirs[bank].add_sharer(entry, holder)
         else:
-            t = self._merge_dirty_copies(line, bank, clean, dirty, t)
+            try:
+                t = self._merge_dirty_copies(line, bank, clean, dirty, t)
+            except CoherenceRaceError:
+                # Case 5b signalled: the merge has already discarded every
+                # dirty copy, so finish the transition (the table bit
+                # flipped before the broadcast) and let the race propagate
+                # from a consistent post-state.
+                ms.fine.clear_swcc(line)
+                raise
         ms.fine.clear_swcc(line)
         return t
 
@@ -164,6 +184,10 @@ class TransitionEngine:
         return t
 
     # -- helpers -----------------------------------------------------------------
+    def _fully_valid(self, cluster_id: int, line: int) -> bool:
+        entry = self.ms.clusters[cluster_id].peek_line(line)
+        return entry is not None and entry.valid_mask == FULL_WORD_MASK
+
     def _require_hybrid(self) -> None:
         if not self.ms.policy.hybrid:
             raise ProtocolError(
@@ -214,9 +238,6 @@ class TransitionEngine:
             union |= mask
         if overlap:
             ms.swcc_races += 1
-            if ms.policy.raise_on_swcc_race:
-                raise CoherenceRaceError(
-                    line, tuple(cid for cid, _m, _v in dirty), overlap)
         t = now
         if clean:
             t = ms._probe_invalidate_targets(line, clean, bank, t)
@@ -232,4 +253,13 @@ class TransitionEngine:
                                         write_values=values, need_data=False)
             if resp > t:
                 t = resp
-        return ms._note_time(t)
+        t = ms._note_time(t)
+        if overlap and ms.policy.raise_on_swcc_race:
+            # Case 5b: signal the race only after every copy has been
+            # removed and all dirty values discarded. The exception
+            # reports the software bug; the hardware lands in the same
+            # consistent post-state as recovery mode (line in no L2,
+            # directory I, memory holding the pre-race value).
+            raise CoherenceRaceError(
+                line, tuple(cid for cid, _m, _v in dirty), overlap)
+        return t

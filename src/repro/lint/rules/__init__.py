@@ -32,11 +32,12 @@ def _registry() -> Dict[str, Rule]:
                                   coh002_missing_invalidate,
                                   coh003_intra_phase_race,
                                   coh004_domain_misuse,
-                                  coh005_redundant_op)
+                                  coh005_redundant_op,
+                                  coh006_atomic_swcc)
 
     modules = (coh001_missing_flush, coh002_missing_invalidate,
                coh003_intra_phase_race, coh004_domain_misuse,
-               coh005_redundant_op)
+               coh005_redundant_op, coh006_atomic_swcc)
     return {module.RULE.id: module.RULE for module in modules}
 
 

@@ -1,0 +1,64 @@
+"""COH006: uncached atomics aimed at SWcc-domain lines.
+
+``atom.*`` read-modify-writes execute at the line's home L3 bank. For a
+hardware-coherent line the directory first removes every cached copy, so
+the L3 value the RMW reads and updates is authoritative. A line the
+region tables resolve to the SWcc domain has no directory entry: L2
+copies write-allocated by ordinary stores are invisible to the atomic,
+so the RMW can read a stale value and its update can later be silently
+overwritten by a flush or dirty eviction of one of those copies -- a
+lost update no fence or barrier repairs. Synchronisation and reduction
+data must live in the hardware-coherent domain; this is why every
+shipped kernel allocates its atomic targets with ``malloc`` rather
+than ``coh_malloc``.
+
+The rule only applies under the Cohesion policy, where the two domains
+coexist: on a pure-SWcc machine there is no HWcc domain to move the
+data to (the paper's baseline uses atomics for synchronisation there by
+construction), and on a pure-HWcc machine no line is ever SWcc.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.lint.diagnostics import Diagnostic, Severity
+from repro.lint.model import LintContext
+from repro.lint.rules import Rule
+from repro.types import PolicyKind
+
+
+def check(ctx: LintContext) -> Iterator[Diagnostic]:
+    if ctx.domain.kind is not PolicyKind.COHESION:
+        return
+    index = ctx.index
+    emitted = 0
+    for access in index.tasks:
+        for line in sorted(access.atomics):
+            if not ctx.domain.is_swcc(line):
+                continue
+            emitted += 1
+            if emitted > ctx.max_diagnostics_per_rule:
+                return
+            yield Diagnostic(
+                rule=RULE.id, severity=RULE.severity,
+                phase=access.phase,
+                phase_name=index.phase_name(access.phase),
+                task=access.task, line=line,
+                message=("uncached atomic targets an SWcc-domain line; "
+                         "the RMW at the L3 cannot see (or invalidate) "
+                         "write-allocated L2 copies, so it may read a "
+                         "stale value and its update can be lost to a "
+                         "later flush or dirty eviction"),
+                hint=(f"allocate line {line:#x}'s data in the coherent "
+                      "heap (malloc) or globals, or transition the line "
+                      "to HWcc before the atomic phase"))
+
+
+RULE = Rule(
+    id="COH006",
+    name="atomic-swcc",
+    severity=Severity.WARNING,
+    summary="uncached atomic RMW aimed at a software-managed line",
+    check=check,
+)

@@ -44,8 +44,14 @@ def lint_program(program: Program, machine=None,
                         rules_run=[rule.id for rule in selected])
     for rule in selected:
         report.diagnostics.extend(rule.check(ctx))
+    # Deterministic order: primarily by line address, then rule id, so
+    # the JSON output is stable across runs (and across rule-internal
+    # iteration order) and usable as a CI golden file. Diagnostics with
+    # no line anchor (line=None) sort first.
     report.diagnostics.sort(
-        key=lambda d: (d.rule, d.phase or 0, d.task or 0, d.line or 0))
+        key=lambda d: (d.line if d.line is not None else -1, d.rule,
+                       d.phase if d.phase is not None else -1,
+                       d.task if d.task is not None else -1))
     if index.has_after_hooks and domain.kind is PolicyKind.COHESION:
         report.notes.append(
             "program has Phase.after hooks; if they re-map coherence "

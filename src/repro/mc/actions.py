@@ -1,0 +1,278 @@
+"""The checker's transition relation: drive the real simulator classes.
+
+Each :class:`Action` is one atomic protocol step -- a core memory
+operation, a software cache instruction, a forced eviction, or a domain
+transition -- executed against the genuine ``Cluster``/``MemorySystem``
+machinery (nothing re-implemented). :func:`apply_action` also maintains
+the :class:`~repro.mc.state.SpecState` oracle alongside, following the
+memory model's commit rules:
+
+* a store or atomic to a **hardware-coherent** word commits its fresh
+  value immediately (the dirty coherent copy *is* the global view);
+* a store to a **software-managed** word commits nothing until the
+  dirty word reaches the L3 -- via WB, a dirty eviction, the coherent
+  path of INV, or a merging SWcc=>HWcc transition;
+* an SWcc=>HWcc transition that *discards* dirty data (Case 5b's
+  overlapping-writers race) commits nothing: memory keeps the pre-race
+  value, and the race is recorded as a (legal) outcome, not a violation;
+* clean copies carried across an SWcc=>HWcc transition (Case 2b, and
+  the non-dirty words of a Case-upgrade owner) may legally hold older
+  values -- those (cluster, word) pairs enter the spec's stale
+  whitelist until the copy is invalidated, refreshed, or overwritten.
+
+Uncaught :class:`~repro.errors.ProtocolError` is itself a verdict: the
+unmutated implementation must never raise one from a legal action
+sequence, so the explorer reports it as a violation with the trace that
+caused it.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, NamedTuple, Optional
+
+from repro.errors import CoherenceRaceError, ProtocolError
+from repro.mc.presets import ModelConfig
+from repro.mc.state import SpecState
+from repro.mem.address import FULL_WORD_MASK, WORD_BYTES, line_base
+
+
+class Action(NamedTuple):
+    """One protocol step: (kind, initiating cluster, line number, word)."""
+
+    kind: str
+    cluster: int
+    line: int
+    word: int  # word index within the line; -1 for whole-line actions
+
+    def describe(self) -> str:
+        addr = line_base(self.line) + WORD_BYTES * max(self.word, 0)
+        if self.word >= 0:
+            return f"cluster {self.cluster}: {self.kind} {addr:#x}"
+        return f"cluster {self.cluster}: {self.kind} line {self.line:#x}"
+
+
+class Outcome(NamedTuple):
+    """What one :func:`apply_action` produced."""
+
+    violations: List[str]
+    race: bool  # a (legal) Case 5b overlapping-writers race fired
+
+
+#: Actions whose result cannot depend on which cluster initiates them
+#: (uncached ops and table RMWs act at the home L3 bank and treat every
+#: cluster alike), so enumerating one initiator suffices.
+_SYMMETRIC_KINDS = frozenset({"atomic", "to_swcc", "to_hwcc"})
+
+#: Whole-line actions that are no-ops unless the initiator holds the line.
+_NEEDS_RESIDENCY = frozenset({"wb", "inv", "evict"})
+
+
+def enumerate_actions(machine, model: ModelConfig) -> Iterator[Action]:
+    """All actions worth exploring from the machine's current state.
+
+    Guards prune steps that are provably no-ops (flushing a line the
+    cluster does not hold) or redundant under symmetry (a domain
+    transition already in the target domain; symmetric initiators).
+    """
+    fine = machine.memsys.fine
+    for ls in model.lines:
+        for kind in ls.actions:
+            if kind in ("load", "store"):
+                for cid in range(machine.config.n_clusters):
+                    for word in ls.words:
+                        yield Action(kind, cid, ls.line, word)
+            elif kind == "atomic":
+                for word in ls.words:
+                    yield Action(kind, 0, ls.line, word)
+            elif kind in _NEEDS_RESIDENCY:
+                for cid, cluster in enumerate(machine.clusters):
+                    if cluster.l2.peek(ls.line) is not None:
+                        yield Action(kind, cid, ls.line, -1)
+            elif kind == "to_swcc":
+                if not fine.is_swcc(ls.line):
+                    yield Action(kind, 0, ls.line, -1)
+            elif kind == "to_hwcc":
+                if fine.is_swcc(ls.line):
+                    yield Action(kind, 0, ls.line, -1)
+            else:  # pragma: no cover - presets validate their alphabets
+                raise ValueError(f"unknown action kind {kind!r}")
+
+
+def resolved_swcc(machine, cluster_id: int, line: int) -> bool:
+    """Domain an access by ``cluster_id`` to ``line`` resolves to.
+
+    Mirrors the memory system's resolution order, with the cluster's own
+    resident copy taking precedence (a hit never consults the tables).
+    """
+    entry = machine.clusters[cluster_id].l2.peek(line)
+    if entry is not None:
+        return entry.incoherent
+    ms = machine.memsys
+    if ms.dirs and ms.directory_of(line).get(line) is not None:
+        return False
+    return bool(ms.coarse.lookup_line(line)) or ms.fine.is_swcc(line)
+
+
+def apply_action(machine, model: ModelConfig, spec: SpecState,
+                 action: Action) -> Outcome:
+    """Execute ``action`` on ``machine`` and update ``spec`` alongside."""
+    violations: List[str] = []
+    race = False
+    try:
+        if action.kind == "load":
+            _do_load(machine, spec, action, violations)
+        elif action.kind == "store":
+            _do_store(machine, spec, action)
+        elif action.kind == "atomic":
+            _do_atomic(machine, spec, action, violations)
+        elif action.kind in _NEEDS_RESIDENCY:
+            _do_line_op(machine, model, spec, action)
+        elif action.kind == "to_swcc":
+            machine.memsys.transitions.to_swcc(action.line, action.cluster, 0.0)
+        elif action.kind == "to_hwcc":
+            race = _do_to_hwcc(machine, model, spec, action)
+        else:  # pragma: no cover
+            raise ValueError(f"unknown action kind {action.kind!r}")
+    except ProtocolError as exc:
+        violations.append(f"protocol-error: {action.describe()}: {exc}")
+    spec.gc(machine)
+    return Outcome(violations, race)
+
+
+def _word_addr(action: Action) -> int:
+    return line_base(action.line) + WORD_BYTES * action.word
+
+
+def _do_load(machine, spec: SpecState, action: Action,
+             violations: List[str]) -> None:
+    addr = _word_addr(action)
+    coherent = not resolved_swcc(machine, action.cluster, action.line)
+    whitelisted = (action.cluster, addr) in spec.stale
+    _t, value = machine.clusters[action.cluster].load(0, addr, 0.0)
+    if coherent and not whitelisted and value != spec.expected(addr):
+        violations.append(
+            f"load-value: {action.describe()} returned {value}, the "
+            f"committed value is {spec.expected(addr)}")
+
+
+def _do_store(machine, spec: SpecState, action: Action) -> None:
+    addr = _word_addr(action)
+    coherent = not resolved_swcc(machine, action.cluster, action.line)
+    value = spec.fresh()
+    machine.clusters[action.cluster].store(0, addr, value, 0.0)
+    if coherent:
+        # The dirty coherent copy is the globally visible value; an SWcc
+        # store stays private until its dirty word reaches the L3.
+        spec.mem[addr] = value
+
+
+def _do_atomic(machine, spec: SpecState, action: Action,
+               violations: List[str]) -> None:
+    addr = _word_addr(action)
+    value = spec.fresh()
+    _t, old = machine.clusters[action.cluster].atomic(
+        0, addr, lambda _old, op: op, value, 0.0)
+    # The RMW reads the authoritative L3/memory word in both domains
+    # (coherent copies are first invalidated; SWcc dirty copies are
+    # invisible to it by design), so its read must see the committed
+    # value and its write commits immediately.
+    if old != spec.expected(addr):
+        violations.append(
+            f"atomic-old-value: {action.describe()} read {old}, the "
+            f"committed value is {spec.expected(addr)}")
+    spec.mem[addr] = value
+
+
+def _dirty_word_values(entry, words) -> List[tuple]:
+    if entry.data is None:
+        return []
+    base = line_base(entry.line)
+    return [(base + WORD_BYTES * w, entry.data[w])
+            for w in words if entry.dirty_mask & (1 << w)]
+
+
+def _do_line_op(machine, model: ModelConfig, spec: SpecState,
+                action: Action) -> None:
+    cluster = machine.clusters[action.cluster]
+    entry = cluster.l2.peek(action.line)
+    if entry is None:  # raced away since enumeration; a wasted instruction
+        commits = []
+    elif action.kind == "inv" and entry.incoherent and entry.dirty_mask:
+        # INV keeps locally modified words (no writeback happens).
+        commits = []
+    else:
+        commits = _dirty_word_values(entry, model.words_of(action.line))
+    if action.kind == "wb":
+        cluster.flush_line(0, action.line, 0.0)
+    elif action.kind == "inv":
+        cluster.invalidate_line(0, action.line, 0.0)
+    else:
+        cluster.evict_line(0, action.line, 0.0)
+    for addr, value in commits:
+        spec.mem[addr] = value
+
+
+def _do_to_hwcc(machine, model: ModelConfig, spec: SpecState,
+                action: Action) -> bool:
+    """Run an SWcc=>HWcc transition and apply Figure 7b's commit rules."""
+    line = action.line
+    words = model.words_of(line)
+    base = line_base(line)
+    clean: List[tuple] = []   # (cid, valid_mask, data copy)
+    dirty: List[tuple] = []   # (cid, dirty_mask, valid_mask, data copy)
+    for cid, cluster in enumerate(machine.clusters):
+        entry = cluster.l2.peek(line)
+        if entry is None:
+            continue
+        data: Optional[List[int]] = (
+            list(entry.data) if entry.data is not None else None)
+        if entry.dirty_mask:
+            dirty.append((cid, entry.dirty_mask, entry.valid_mask, data))
+        elif entry.valid_mask == FULL_WORD_MASK:
+            # Partially valid clean holders drop and nack -- only fully
+            # valid clean copies survive as coherent sharers (Case 2b).
+            clean.append((cid, entry.valid_mask, data))
+    union = overlap = 0
+    for _cid, mask, _vmask, _data in dirty:
+        overlap |= union & mask
+        union |= mask
+    race = False
+    try:
+        machine.memsys.transitions.to_hwcc(line, action.cluster, 0.0)
+    except CoherenceRaceError:
+        race = True
+    if race or overlap:
+        # Case 5b: every dirty copy was discarded; memory keeps the
+        # pre-race committed values. Nothing to commit or whitelist.
+        return True
+    if len(dirty) == 1 and not clean and dirty[0][2] == FULL_WORD_MASK:
+        # In-place ownership upgrade: the owner's dirty words become the
+        # global view without a writeback; its clean valid words may
+        # legally be stale until refreshed or invalidated. A partially
+        # valid dirty copy goes through the merge branch below instead.
+        cid, dmask, vmask, data = dirty[0]
+        for w in words:
+            addr = base + WORD_BYTES * w
+            if dmask & (1 << w):
+                spec.mem[addr] = data[w]
+            elif vmask & (1 << w) and data[w] != spec.expected(addr):
+                spec.stale.add((cid, addr))
+    elif dirty:
+        # Merge: every dirty copy writes back (disjoint word sets) and
+        # all copies invalidate.
+        for _cid, dmask, _vmask, data in dirty:
+            for w in words:
+                if dmask & (1 << w):
+                    spec.mem[base + WORD_BYTES * w] = data[w]
+    else:
+        # Case 2b: clean holders become sharers without a data refresh,
+        # so a holder whose copy predates the last commit is legally
+        # stale until it invalidates or re-fetches.
+        for cid, vmask, data in clean:
+            if data is None:
+                continue
+            for w in words:
+                addr = base + WORD_BYTES * w
+                if vmask & (1 << w) and data[w] != spec.expected(addr):
+                    spec.stale.add((cid, addr))
+    return False

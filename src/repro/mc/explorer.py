@@ -1,0 +1,182 @@
+"""Breadth-first explicit-state exploration of a preset's universe.
+
+The explorer is a textbook Murphi-style loop wrapped around the real
+simulator: pop a state, restore the machine to it, enumerate the
+enabled actions, apply each to a fresh copy, check every invariant on
+the successor, and canonicalise it into the visited set. Because the
+search is breadth-first and parent pointers are kept for every visited
+state, the first violation found reconstructs a *minimal* (shortest
+possible) counterexample action trace.
+
+Timing is deliberately outside the state: ``Machine.restore`` rewinds
+simulated time and contention to zero, so two interleavings that differ
+only in when messages happened to queue collapse into one canonical
+state. What remains is exactly the protocol -- cache line flags and
+values, directory entries, table bits, replacement order -- which is
+why the default preset closes its frontier in seconds.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from itertools import permutations
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.mc.actions import Action, apply_action, enumerate_actions
+from repro.mc.invariants import check_state
+from repro.mc.presets import ModelConfig, build_machine
+from repro.mc.state import (SpecState, canonical_key, extract_state,
+                            render_signature, semi_key)
+
+
+@dataclass
+class McResult:
+    """Everything one exploration run learned."""
+
+    preset: str
+    mutation: Optional[str] = None
+    states: int = 0            # canonical states visited
+    transitions: int = 0       # actions applied (edges examined)
+    max_depth_reached: int = 0
+    exhaustive: bool = False   # frontier closed with no cap hit
+    truncated_by: Optional[str] = None  # "max-states" | "max-depth"
+    races: int = 0             # legal Case 5b outcomes observed
+    violations: List[str] = field(default_factory=list)
+    trace: Optional[List[Action]] = None  # minimal counterexample
+    elapsed: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def as_dict(self) -> dict:
+        from repro.mc.trace import action_to_dict
+        return {
+            "preset": self.preset,
+            "mutation": self.mutation,
+            "ok": self.ok,
+            "states": self.states,
+            "transitions": self.transitions,
+            "max_depth_reached": self.max_depth_reached,
+            "exhaustive": self.exhaustive,
+            "truncated_by": self.truncated_by,
+            "races": self.races,
+            "violations": self.violations,
+            "trace": ([action_to_dict(a) for a in self.trace]
+                      if self.trace is not None else None),
+            "elapsed_seconds": round(self.elapsed, 3),
+        }
+
+
+def explore(model: ModelConfig, machine=None,
+            mutation: Optional[str] = None,
+            max_states: Optional[int] = None,
+            max_depth: Optional[int] = None,
+            progress: Optional[Callable[[int, int], None]] = None,
+            progress_every: int = 2000) -> McResult:
+    """Exhaustively explore ``model``; stop at the first violation.
+
+    ``machine`` defaults to a fresh :func:`build_machine`; pass one to
+    check a pre-mutated or pre-conditioned instance. ``mutation`` names
+    a registered bug injection (see :mod:`repro.mc.mutations`) applied
+    before exploration -- the acceptance test for the checker itself.
+    """
+    if machine is None:
+        machine = build_machine(model)
+    if mutation is not None:
+        from repro.mc.mutations import apply_mutation
+        apply_mutation(mutation, machine)
+    cap_states = model.max_states if max_states is None else max_states
+    cap_depth = model.max_depth if max_depth is None else max_depth
+    result = McResult(preset=model.name, mutation=mutation)
+    started = time.perf_counter()
+
+    spec = SpecState()
+    root_snap = (machine.snapshot(), spec.snapshot())
+    root_problems = check_state(machine, model, spec)
+    if root_problems:  # a broken initial state needs no actions at all
+        result.states = 1
+        result.violations = root_problems
+        result.trace = []
+        result.elapsed = time.perf_counter() - started
+        return result
+    root_key = canonical_key(machine, model, spec)
+    # visited: canonical key -> (parent key, action that reached it)
+    visited: Dict[tuple, Optional[Tuple[tuple, Action]]] = {root_key: None}
+    frontier = deque([(root_key, root_snap, 0)])
+    next_report = progress_every
+    # Concrete-state memo in front of the symmetry reduction: a revisited
+    # successor (the vast majority of transitions) costs one identity-order
+    # rendering instead of all n! of them.
+    orders = list(permutations(range(machine.config.n_clusters)))
+    semi_cache: Dict[tuple, tuple] = {}
+
+    while frontier:
+        key, (msnap, ssnap), depth = frontier.popleft()
+        if depth > result.max_depth_reached:
+            result.max_depth_reached = depth
+        if depth >= cap_depth:
+            result.truncated_by = "max-depth"
+            continue
+        machine.restore(msnap)
+        actions = list(enumerate_actions(machine, model))
+        for action in actions:
+            machine.restore(msnap)
+            spec.restore(ssnap)
+            outcome = apply_action(machine, model, spec, action)
+            result.transitions += 1
+            if outcome.race:
+                result.races += 1
+            if outcome.violations:
+                result.states = len(visited)
+                result.violations = list(outcome.violations)
+                result.trace = _rebuild_trace(visited, key) + [action]
+                result.elapsed = time.perf_counter() - started
+                return result
+            raw = extract_state(machine, model, spec)
+            semi = semi_key(raw)
+            succ_key = semi_cache.get(semi)
+            if succ_key is None:
+                succ_key = min(render_signature(raw, order)
+                               for order in orders)
+                semi_cache[semi] = succ_key
+            if succ_key in visited:
+                # An already-canonicalised state was invariant-checked
+                # when first discovered; only the per-action outcome
+                # (checked above) can differ between routes into it.
+                continue
+            if len(visited) >= cap_states:
+                result.truncated_by = "max-states"
+                continue
+            problems = check_state(machine, model, spec)
+            if problems:
+                result.states = len(visited)
+                result.violations = problems
+                result.trace = _rebuild_trace(visited, key) + [action]
+                result.elapsed = time.perf_counter() - started
+                return result
+            visited[succ_key] = (key, action)
+            frontier.append(
+                (succ_key, (machine.snapshot(), spec.snapshot()), depth + 1))
+        if progress is not None and len(visited) >= next_report:
+            next_report = len(visited) + progress_every
+            progress(len(visited), result.transitions)
+
+    result.states = len(visited)
+    result.exhaustive = result.truncated_by is None
+    result.elapsed = time.perf_counter() - started
+    return result
+
+
+def _rebuild_trace(visited, key) -> List[Action]:
+    """Walk parent pointers back to the root; return root-first actions."""
+    actions: List[Action] = []
+    edge = visited[key]
+    while edge is not None:
+        parent, action = edge
+        actions.append(action)
+        edge = visited[parent]
+    actions.reverse()
+    return actions

@@ -1,0 +1,212 @@
+"""Canonical state keys and the write-counter specification state.
+
+Two jobs live here:
+
+**SpecState** -- the checker's value oracle. Every store and atomic
+writes a *fresh opaque integer* (a write counter), so value equality is
+exactly "came from the same write". ``mem`` tracks, per modeled word,
+the value the memory model promises is globally visible; ``stale``
+whitelists (cluster, word address) pairs that legally hold an older
+value in a *coherent* copy -- the SWcc=>HWcc Case 2b path turns clean
+holders into sharers without refreshing their data, which the paper's
+hardware tolerates (software that wanted the new value must invalidate
+before the transition).
+
+**canonical_key** -- a hashable fingerprint of everything that can
+influence future protocol behaviour, reduced under two symmetries:
+
+* *cluster permutation*: cluster ids are interchangeable (same caches,
+  same network position at this scale), so the key is the minimum over
+  all relabelings of the clusters;
+* *value renaming*: write-counter values are opaque, so they are
+  renamed in first-appearance order while walking the state.
+
+Deliberately excluded: timing backlog, message counters, statistics,
+and the L3 residency of fine-table lines (all timing-only), plus LRU
+ages except as *ranks* among modeled lines (the only part replacement
+decisions observe). Directory-entry LRU rank is included because a
+bounded directory picks eviction victims by it.
+"""
+
+from __future__ import annotations
+
+from itertools import permutations
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.mem.address import LINE_SHIFT, WORD_BYTES, line_base
+
+
+class SpecState:
+    """Write-counter oracle: promised memory values + legal-stale set."""
+
+    __slots__ = ("mem", "stale", "next_value")
+
+    def __init__(self) -> None:
+        self.mem: Dict[int, int] = {}        # word byte address -> value
+        self.stale: Set[Tuple[int, int]] = set()  # (cluster, word addr)
+        self.next_value = 1
+
+    def fresh(self) -> int:
+        """A never-before-seen write value."""
+        value = self.next_value
+        self.next_value += 1
+        return value
+
+    def expected(self, word_addr: int) -> int:
+        return self.mem.get(word_addr, 0)
+
+    def snapshot(self) -> tuple:
+        return (dict(self.mem), set(self.stale), self.next_value)
+
+    def restore(self, snap: tuple) -> None:
+        mem, stale, next_value = snap
+        self.mem = dict(mem)
+        self.stale = set(stale)
+        self.next_value = next_value
+
+    def gc(self, machine) -> None:
+        """Drop whitelist entries that no longer describe a stale copy.
+
+        An entry stays only while its cluster holds the line coherently
+        with the word valid and a value differing from the promise;
+        anything else (copy invalidated, line re-fetched, word
+        overwritten) ends the legal-staleness window.
+        """
+        dead = []
+        for cid, word_addr in self.stale:
+            line = word_addr >> LINE_SHIFT
+            word = (word_addr - line_base(line)) // WORD_BYTES
+            entry = machine.clusters[cid].l2.peek(line)
+            if (entry is None or entry.incoherent
+                    or not entry.valid_mask & (1 << word)
+                    or entry.data is None
+                    or entry.data[word] == self.expected(word_addr)):
+                dead.append((cid, word_addr))
+        for item in dead:
+            self.stale.discard(item)
+
+
+def canonical_key(machine, model, spec: SpecState) -> tuple:
+    """Symmetry-reduced fingerprint of (machine, spec) protocol state."""
+    raw = extract_state(machine, model, spec)
+    n = machine.config.n_clusters
+    return min(render_signature(raw, order)
+               for order in permutations(range(n)))
+
+
+def semi_key(raw) -> tuple:
+    """Identity-order rendering of an extracted state.
+
+    Not symmetry-reduced, but values *are* renamed, so it uniquely
+    identifies a concrete state. The explorer uses it as a cheap cache
+    key in front of the full minimum-over-permutations computation:
+    most successors are revisits, and a revisit costs one walk here
+    instead of ``n!`` renders.
+    """
+    n = len(raw[1])
+    return render_signature(raw, tuple(range(n)))
+
+
+def extract_state(machine, model, spec: SpecState) -> tuple:
+    """One walk over the machine collecting permutation-independent raw
+    parts; :func:`render_signature` then permutes and renames cheaply."""
+    ms = machine.memsys
+    lines_part: List[tuple] = []
+    for ls in model.lines:
+        line = ls.line
+        bank = ms.map.bank_of_line(line)
+        dentry = ms.dirs[bank].get(line) if ms.dirs else None
+        if dentry is None:
+            dir_raw = None
+        else:
+            dir_raw = (dentry.state, tuple(dentry.sharer_ids()),
+                       1 if dentry.broadcast else 0,
+                       _dir_rank(ms.dirs[bank], dentry))
+        lines_part.append((1 if ms.fine.is_swcc(line) else 0, dir_raw,
+                           _entry_raw(ms.l3[bank].peek(line), ls.words)))
+    cluster_part: List[tuple] = []
+    for cluster in machine.clusters:
+        entries = []
+        l2_rank = []
+        l1_rank = []
+        for index, ls in enumerate(model.lines):
+            e2 = cluster.l2.peek(ls.line)
+            e1 = cluster.l1d[0].peek(ls.line)
+            entries.append((_entry_raw(e2, ls.words), _entry_raw(e1, ls.words)))
+            if e2 is not None:
+                l2_rank.append((e2.lru, index))
+            if e1 is not None:
+                l1_rank.append((e1.lru, index))
+        l2_rank.sort()
+        l1_rank.sort()
+        cluster_part.append((tuple(entries),
+                             tuple(i for _lru, i in l2_rank),
+                             tuple(i for _lru, i in l1_rank)))
+    mem_part = tuple(spec.expected(a) for a in model.word_addrs())
+    return (tuple(lines_part), tuple(cluster_part), mem_part,
+            frozenset(spec.stale))
+
+
+def render_signature(raw, order: Tuple[int, ...]) -> tuple:
+    """Signature of ``raw`` under one cluster relabeling.
+
+    Values are renamed in first-appearance order along the walk, so two
+    states differing only in which opaque write counters they hold (or
+    in interchangeable cluster ids) render identically.
+    """
+    lines_part, cluster_part, mem_part, stale = raw
+    rename: Dict[int, int] = {}
+    rget = rename.get
+    slot = {cid: i for i, cid in enumerate(order)}
+
+    def val(x: int) -> int:
+        r = rget(x)
+        if r is None:
+            r = len(rename)
+            rename[x] = r
+        return r
+
+    parts: List[object] = []
+    for fine_bit, dir_raw, l3_raw in lines_part:
+        parts.append(fine_bit)
+        if dir_raw is None:
+            parts.append((0,))
+        else:
+            state, sharers, broadcast, rank = dir_raw
+            parts.append((1, state, tuple(sorted(slot[c] for c in sharers)),
+                          broadcast, rank))
+        parts.append(_render_entry(l3_raw, val))
+    for cid in order:
+        entries, l2_rank, l1_rank = cluster_part[cid]
+        for e2_raw, e1_raw in entries:
+            parts.append(_render_entry(e2_raw, val))
+            parts.append(_render_entry(e1_raw, val))
+        parts.append(l2_rank)
+        parts.append(l1_rank)
+    parts.append(tuple(val(v) for v in mem_part))
+    parts.append(tuple(sorted((slot[c], a) for c, a in stale)))
+    return tuple(parts)
+
+
+def _entry_raw(entry, words: Tuple[int, ...]) -> Optional[tuple]:
+    if entry is None:
+        return None
+    values = tuple(
+        entry.data[w] if (entry.data is not None
+                          and entry.valid_mask & (1 << w)) else None
+        for w in words)
+    return (entry.valid_mask, entry.dirty_mask,
+            1 if entry.incoherent else 0, values)
+
+
+def _render_entry(raw: Optional[tuple], val) -> tuple:
+    if raw is None:
+        return (0,)
+    valid_mask, dirty_mask, incoherent, values = raw
+    return (1, valid_mask, dirty_mask, incoherent,
+            tuple(-1 if v is None else val(v) for v in values))
+
+
+def _dir_rank(bank_dir, dentry) -> int:
+    """Eviction-order rank of ``dentry`` within its bank (oldest = 0)."""
+    return sum(1 for e in bank_dir.entries() if e.lru < dentry.lru)

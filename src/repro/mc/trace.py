@@ -1,0 +1,98 @@
+"""Counterexample traces: JSON round-trip and deterministic replay.
+
+A trace file is self-contained evidence: the preset (so the exact
+machine can be rebuilt), the optional mutation that was under test, the
+violations observed, and the minimal action sequence that reaches them.
+:func:`replay` re-executes that sequence step by step against a fresh
+machine -- restoring through a snapshot after each action exactly as
+the explorer did, so timing state cannot diverge -- and reports the
+first step at which any invariant breaks. A trace that fails to
+re-reproduce its violation is itself a bug report about the checker.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import List, Optional
+
+from repro.mc.actions import Action, apply_action
+from repro.mc.invariants import check_state
+from repro.mc.presets import PRESETS, build_machine
+from repro.mc.state import SpecState
+
+
+def action_to_dict(action: Action) -> dict:
+    return {"kind": action.kind, "cluster": action.cluster,
+            "line": f"{action.line:#x}", "word": action.word,
+            "describe": action.describe()}
+
+
+def action_from_dict(data: dict) -> Action:
+    return Action(kind=data["kind"], cluster=int(data["cluster"]),
+                  line=int(data["line"], 16), word=int(data["word"]))
+
+
+def trace_payload(result) -> dict:
+    """The self-contained JSON document for one counterexample."""
+    return {
+        "format": "repro-mc-trace/1",
+        "preset": result.preset,
+        "mutation": result.mutation,
+        "violations": result.violations,
+        "actions": [action_to_dict(a) for a in (result.trace or [])],
+    }
+
+
+def write_trace(path: str, result) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(trace_payload(result), fh, indent=2)
+        fh.write("\n")
+
+
+def load_trace(path: str) -> dict:
+    with open(path, "r", encoding="utf-8") as fh:
+        payload = json.load(fh)
+    if payload.get("format") != "repro-mc-trace/1":
+        raise ValueError(f"{path} is not a repro-mc trace file")
+    return payload
+
+
+def replay(payload: dict) -> dict:
+    """Re-execute a trace; return what each step did and found.
+
+    The returned dict carries ``reproduced`` (did any step violate an
+    invariant), ``failing_step`` (1-based index of the first one, or
+    None), and a per-step log with the violations observed after it.
+    """
+    model = PRESETS[payload["preset"]]
+    machine = build_machine(model)
+    if payload.get("mutation"):
+        from repro.mc.mutations import apply_mutation
+        apply_mutation(payload["mutation"], machine)
+    spec = SpecState()
+    actions = [action_from_dict(d) for d in payload["actions"]]
+    steps: List[dict] = []
+    failing_step: Optional[int] = None
+    problems = check_state(machine, model, spec)
+    if problems:
+        failing_step = 0
+    for index, action in enumerate(actions, start=1):
+        outcome = apply_action(machine, model, spec, action)
+        # Normalise timing exactly as exploration did: protocol state
+        # round-trips, simulated time rewinds to zero.
+        machine.restore(machine.snapshot())
+        problems = list(outcome.violations)
+        problems.extend(check_state(machine, model, spec))
+        steps.append({"step": index, "action": action.describe(),
+                      "race": outcome.race, "violations": problems})
+        if problems and failing_step is None:
+            failing_step = index
+            break
+    return {
+        "preset": payload["preset"],
+        "mutation": payload.get("mutation"),
+        "reproduced": failing_step is not None,
+        "failing_step": failing_step,
+        "expected_violations": payload.get("violations", []),
+        "steps": steps,
+    }

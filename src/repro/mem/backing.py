@@ -51,6 +51,12 @@ class BackingStore:
         self._words[key] = func(old, operand) & 0xFFFFFFFF
         return old
 
+    def snapshot(self) -> Dict[int, int]:
+        return dict(self._words)
+
+    def restore(self, snap: Dict[int, int]) -> None:
+        self._words = dict(snap)
+
     def __len__(self) -> int:
         return len(self._words)
 
@@ -81,6 +87,12 @@ class NullBackingStore:
 
     def atomic_rmw(self, addr: int, func, operand: int) -> int:
         return 0
+
+    def snapshot(self) -> Dict[int, int]:
+        return {}
+
+    def restore(self, snap: Dict[int, int]) -> None:
+        return None
 
     def __len__(self) -> int:
         return 0

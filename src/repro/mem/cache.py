@@ -70,7 +70,7 @@ class CacheLine:
 class Cache:
     """LRU set-associative cache keyed by line number."""
 
-    __slots__ = ("name", "n_sets", "assoc", "sets", "_tick",
+    __slots__ = ("name", "n_sets", "assoc", "sets", "_occupied", "_tick",
                  "hits", "misses", "evictions", "track_data")
 
     def __init__(self, n_lines: int, assoc: int, name: str = "cache",
@@ -81,6 +81,11 @@ class Cache:
         self.n_sets = n_lines // assoc
         self.assoc = assoc
         self.sets: List[Dict[int, CacheLine]] = [dict() for _ in range(self.n_sets)]
+        # Indices of non-empty sets (dict used as an ordered set), so
+        # whole-cache walks and resets are O(resident lines), not
+        # O(sets) -- the model checker restores thousands of mostly
+        # empty caches per second.
+        self._occupied: Dict[int, None] = {}
         self._tick = 0
         self.hits = 0
         self.misses = 0
@@ -135,33 +140,77 @@ class Cache:
         self._tick += 1
         entry.lru = self._tick
         bucket[line] = entry
+        self._occupied[line % self.n_sets] = None
         return entry, victim
 
     # -- removal -------------------------------------------------------------
     def remove(self, line: int) -> Optional[CacheLine]:
         """Remove ``line`` if present, returning its entry."""
-        return self.sets[line % self.n_sets].pop(line, None)
+        index = line % self.n_sets
+        bucket = self.sets[index]
+        entry = bucket.pop(line, None)
+        if entry is not None and not bucket:
+            self._occupied.pop(index, None)
+        return entry
 
     def invalidate_where(self, predicate: Callable[[CacheLine], bool]
                          ) -> List[CacheLine]:
         """Remove and return every resident line satisfying ``predicate``."""
         removed: List[CacheLine] = []
-        for bucket in self.sets:
+        for index in tuple(self._occupied):
+            bucket = self.sets[index]
             doomed = [ln for ln, entry in bucket.items() if predicate(entry)]
             for ln in doomed:
                 removed.append(bucket.pop(ln))
+            if not bucket:
+                del self._occupied[index]
         return removed
+
+    # -- snapshot / restore ----------------------------------------------------
+    def snapshot(self) -> List[tuple]:
+        """Capture every resident line as plain tuples.
+
+        Entries are ordered by LRU age (oldest first) so that
+        :meth:`restore` reproduces the exact replacement order; the
+        absolute ``_tick`` values are not preserved, only the ranking,
+        which is all the LRU policy observes.
+        """
+        entries = sorted(self.lines(), key=lambda e: e.lru)
+        return [(e.line, e.valid_mask, e.dirty_mask, e.incoherent,
+                 None if e.data is None else list(e.data))
+                for e in entries]
+
+    def restore(self, snap: List[tuple]) -> None:
+        """Reset contents to a :meth:`snapshot` (statistics untouched)."""
+        if not snap and not self._occupied:  # empty -> empty fast path
+            self._tick = 0
+            return
+        for index in self._occupied:
+            self.sets[index].clear()
+        self._occupied.clear()
+        self._tick = 0
+        for line, valid_mask, dirty_mask, incoherent, data in snap:
+            self._tick += 1
+            entry = CacheLine(line, valid_mask, dirty_mask, incoherent,
+                              None if data is None else list(data))
+            entry.lru = self._tick
+            self.sets[line % self.n_sets][line] = entry
+            self._occupied[line % self.n_sets] = None
 
     # -- introspection ---------------------------------------------------------
     def __contains__(self, line: int) -> bool:
         return line in self.sets[line % self.n_sets]
 
+    def __bool__(self) -> bool:
+        """True when any line is resident (cheaper than ``len() > 0``)."""
+        return bool(self._occupied)
+
     def __len__(self) -> int:
-        return sum(len(bucket) for bucket in self.sets)
+        return sum(len(self.sets[index]) for index in self._occupied)
 
     def lines(self) -> Iterator[CacheLine]:
-        for bucket in self.sets:
-            yield from bucket.values()
+        for index in tuple(self._occupied):
+            yield from self.sets[index].values()
 
     @property
     def capacity_lines(self) -> int:

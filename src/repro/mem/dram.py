@@ -42,6 +42,10 @@ class DramModel:
         self.accesses[channel] += 1
         return start + self.latency + occupancy
 
+    def reset_contention(self) -> None:
+        """Drop all reserved channel capacity (access counts untouched)."""
+        self.channels.reset()
+
     @property
     def total_accesses(self) -> int:
         return sum(self.accesses)

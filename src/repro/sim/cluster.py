@@ -105,8 +105,13 @@ class Cluster:
             cache.remove(line)
 
     def _fill_l1(self, l1: Cache, entry: CacheLine) -> None:
-        """Install an L2 line's current contents into a core's L1."""
-        copy, _victim = l1.allocate(entry.line, FULL_WORD_MASK)  # L1 victims silent
+        """Install an L2 line's current contents into a core's L1.
+
+        Only the L2 entry's *valid* words are validated in the L1: a
+        partially valid SWcc line (write-allocated words only) must not
+        produce L1 hits on words that were never fetched.
+        """
+        copy, _victim = l1.allocate(entry.line, entry.valid_mask)  # L1 victims silent
         if copy.data is not None and entry.data is not None:
             copy.data[:] = entry.data
 
@@ -306,6 +311,47 @@ class Cluster:
                 self._posted_done(self.memsys.read_release(self.id, line, t))
         return t
 
+    def evict_line(self, core: int, line: int, now: float) -> float:
+        """Force a capacity-style L2 eviction of ``line`` (simulator hook).
+
+        Performs exactly the protocol actions a genuine replacement
+        victim triggers: L1 copies drop, a dirty SWcc line writes back
+        its modified words, a coherent line writes back or sends a read
+        release. Used by the model checker to exercise eviction
+        interleavings without filling sets.
+        """
+        t = self._l2_start(now)
+        entry = self.l2.remove(line)
+        if entry is None:
+            return t
+        return max(t, self._handle_victim(entry, t))
+
+    # -- snapshot / restore --------------------------------------------------
+    def snapshot(self) -> dict:
+        """Capture this cluster's L2/L1 contents (statistics excluded)."""
+        return {
+            "l2": self.l2.snapshot(),
+            "l1d": [c.snapshot() for c in self.l1d],
+            "l1i": [c.snapshot() for c in self.l1i],
+        }
+
+    def restore(self, snap: dict) -> None:
+        """Reset caches to a :meth:`snapshot`; drop in-flight posted ops.
+
+        The per-core caches are skipped when both the snapshot and the
+        live cache are empty -- the model checker restores thousands of
+        mostly idle clusters per second.
+        """
+        self.l2.restore(snap["l2"])
+        for cache, cache_snap in zip(self.l1d, snap["l1d"]):
+            if cache_snap or cache:
+                cache.restore(cache_snap)
+        for cache, cache_snap in zip(self.l1i, snap["l1i"]):
+            if cache_snap or cache:
+                cache.restore(cache_snap)
+        self._posted.clear()
+        self.port.reset()
+
     # == directory-probe interface (called by the memory system) =================
 
     def peek_line(self, line: int) -> Optional[CacheLine]:
@@ -340,9 +386,13 @@ class Cluster:
                           ) -> Tuple[str, int, Optional[List[int]], float]:
         """SWcc => HWcc broadcast clean request (Section 3.6).
 
-        A clean holder clears its incoherent bit (the line becomes
-        probeable) and acks; a dirty holder reports its dirty words; an
-        absent line nacks.
+        A fully valid clean holder clears its incoherent bit (the line
+        becomes probeable) and acks; a dirty holder reports its dirty
+        words; an absent line nacks. A *partially* valid clean copy
+        (words invalidated by INV after a write-allocate) cannot serve
+        as a coherent sharer -- word validity is an SWcc-only concept --
+        so it silently drops and nacks, exactly like the free clean
+        drop SWcc already allows.
         """
         t = self.port.acquire(now, self.port_occ) + self.l2_latency
         entry = self.l2.peek(line)
@@ -351,6 +401,10 @@ class Cluster:
         if entry.dirty_mask:
             values = list(entry.data) if entry.data is not None else None
             return "dirty", entry.dirty_mask, values, t
+        if entry.valid_mask != FULL_WORD_MASK:
+            self.l2.remove(line)
+            self._drop_l1(line)
+            return "absent", 0, None, t
         entry.incoherent = False
         return "clean", 0, None, t
 

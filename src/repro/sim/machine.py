@@ -47,6 +47,29 @@ class Machine:
         """Zero the L2->L3 message taxonomy (e.g. after warm-up)."""
         self.memsys.counters.reset()
 
+    # -- snapshot / restore ----------------------------------------------------
+    def snapshot(self) -> dict:
+        """Capture all protocol-visible state of the whole machine.
+
+        The snapshot covers the memory system (L3, directories, fine
+        table, backing store) and every cluster's caches. Core clocks,
+        timing backlog, and statistics are excluded: restoring rewinds
+        simulated time to zero, which is what replay-style tools (the
+        model checker) need.
+        """
+        return {
+            "memsys": self.memsys.snapshot(),
+            "clusters": [c.snapshot() for c in self.clusters],
+        }
+
+    def restore(self, snap: dict) -> None:
+        """Reset protocol state to a :meth:`snapshot` and rewind clocks."""
+        self.memsys.restore(snap["memsys"])
+        for cluster, cluster_snap in zip(self.clusters, snap["clusters"]):
+            cluster.restore(cluster_snap)
+        for core in range(len(self.core_clocks)):
+            self.core_clocks[core] = 0.0
+
     def run(self, program, ops_per_slice: int = 8) -> RunStats:
         """Execute a BSP program to completion and return its stats."""
         from repro.runtime.executor import BspExecutor

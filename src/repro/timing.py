@@ -87,6 +87,15 @@ class Resource:
             return 0.0
         return min(1.0, self.total_busy / elapsed)
 
+    def reset(self) -> None:
+        """Forget all reserved capacity (keeps cumulative statistics).
+
+        Tools that repeatedly rewind the simulator to time zero (the
+        model checker) must drop the bucket backlog, or every replayed
+        access would queue behind reservations from abandoned branches.
+        """
+        self._used.clear()
+
 
 class ResourceGroup:
     """An indexed family of :class:`Resource` (e.g. one per L3 bank)."""
@@ -104,3 +113,7 @@ class ResourceGroup:
 
     def acquire(self, index: int, now: float, occupancy: float) -> float:
         return self.members[index].acquire(now, occupancy)
+
+    def reset(self) -> None:
+        for member in self.members:
+            member.reset()

@@ -176,6 +176,48 @@ class TestSwccToHwcc:
         value = ms.read_line(0, line, 1000.0).data[0]
         assert value == 7777  # racing values discarded
 
+    def test_case_5b_raise_leaves_consistent_post_state(self, machine):
+        """The exception propagates *after* the discard recovery ran.
+
+        Post-state must match recovery mode exactly: the line is cached
+        in no L2, the directory stays I, the table bit is cleared (the
+        line is HWcc now), and memory holds the pre-race value.
+        """
+        ms = machine.memsys
+        addr = INCOHERENT_HEAP
+        line = swcc_line(machine)
+        ms.backing.write_word_addr(addr, 7777)
+        machine.clusters[0].store(0, addr, 1, 0.0)
+        machine.clusters[1].store(0, addr, 2, 0.0)
+        with pytest.raises(CoherenceRaceError):
+            ms.transitions.to_hwcc(line, 0, 50.0)
+        for cluster in machine.clusters:
+            assert cluster.l2.peek(line) is None
+        assert ms.directory_of(line).get(line) is None  # directory stays I
+        assert not ms.fine.is_swcc(line)                # transition completed
+        reply = ms.read_line(0, line, 1000.0)
+        assert not reply.incoherent
+        assert reply.data[0] == 7777  # racing values discarded
+
+    def test_case_5b_recovery_post_state_directory_invalid(self):
+        """Recovery mode: line in no L2, directory I, bit cleared."""
+        machine = make_machine(
+            Policy(kind=Policy.cohesion().kind, raise_on_swcc_race=False))
+        ms = machine.memsys
+        addr = INCOHERENT_HEAP
+        line = line_of(addr)
+        machine.clusters[0].store(0, addr, 1, 100.0)
+        machine.clusters[1].store(0, addr, 2, 100.0)
+        machine.clusters[1].store(0, addr + 4, 3, 100.0)  # word 1, no overlap
+        ms.transitions.to_hwcc(line, 0, 500.0)
+        for cluster in machine.clusters:
+            assert cluster.l2.peek(line) is None
+        assert ms.directory_of(line).get(line) is None
+        assert not ms.fine.is_swcc(line)
+        # Every dirty copy was discarded, including the non-overlapping
+        # word of the racing writer pair.
+        assert ms.read_line(0, line, 1000.0).data[1] == 0
+
 
 class TestTransitionLineAndRegions:
     def test_transition_line_skips_same_domain(self, machine):

@@ -236,6 +236,39 @@ class TestCOH005RedundantOp:
         assert lint_program(prog, machine=machine).clean
 
 
+class TestCOH006AtomicSwcc:
+    def test_atomic_to_swcc_line_warns(self):
+        machine, sw_addr, hw_addr = cohesion_setup()
+        prog = program(phase("reduce", task([(OP_ATOMIC, sw_addr, 1)])))
+        report = lint_program(prog, machine=machine)
+        assert rule_ids(report) == ["COH006"]
+        [diag] = report.diagnostics
+        assert diag.severity is Severity.WARNING
+        assert diag.line == line_of(sw_addr)
+        assert "malloc" in diag.hint
+
+    def test_atomic_to_hwcc_line_clean(self):
+        machine, sw_addr, hw_addr = cohesion_setup()
+        prog = program(phase("reduce", task([(OP_ATOMIC, hw_addr, 1)])))
+        assert lint_program(prog, machine=machine).clean
+
+    def test_pure_swcc_machine_exempt(self):
+        # The SWcc baseline has no coherent heap to move the data to;
+        # its atomics are legitimate by construction.
+        machine, addr, line = swcc_setup()
+        prog = program(phase("reduce", task([(OP_ATOMIC, addr, 1)])))
+        assert lint_program(prog, machine=machine,
+                            rules=["COH006"]).clean
+
+    def test_coarse_region_also_flagged(self):
+        # Globals sit in a boot-time coarse SWcc region under Cohesion:
+        # an atomic aimed there has the same lost-update hazard.
+        machine, _sw, _hw = cohesion_setup()
+        addr = machine.runtime.static_alloc(64)
+        prog = program(phase("reduce", task([(OP_ATOMIC, addr, 1)])))
+        assert rule_ids(lint_program(prog, machine=machine)) == ["COH006"]
+
+
 class TestFramework:
     def test_program_lint_method(self):
         machine, addr, line = swcc_setup()
@@ -301,3 +334,20 @@ class TestFramework:
         assert len(report.by_rule("COH001")) == 3
         lines = [d.line for d in report.diagnostics]
         assert lines == sorted(lines)
+
+    def test_diagnostics_ordered_by_line_then_rule(self):
+        # Cross-rule determinism: (line address, rule id) is the primary
+        # sort, so JSON output is usable as a CI golden file.
+        machine, sw_addr, hw_addr = cohesion_setup()
+        hw_line = line_of(hw_addr)
+        prog = program(phase("p", task(
+            [(OP_ATOMIC, sw_addr, 1), (OP_LOAD, hw_addr)],
+            flushes=[hw_line, hw_line])))
+        report = lint_program(prog, machine=machine)
+        keyed = [(d.line, d.rule) for d in report.diagnostics]
+        assert keyed == sorted(keyed)
+        # hw line < sw line: COH004/COH005 anchor there and come first,
+        # in rule-id order; COH006 anchors on the (higher) SWcc line.
+        assert [d.rule for d in report.diagnostics] == \
+            ["COH004", "COH005", "COH006"]
+        assert json.loads(report.to_json()) == json.loads(report.to_json())

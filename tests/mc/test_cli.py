@@ -1,0 +1,81 @@
+"""The ``repro mc`` subcommand: output, exit codes, trace round-trip."""
+
+import json
+
+from repro.cli import main
+
+
+class TestListing:
+    def test_list_presets(self, capsys):
+        assert main(["mc", "--list-presets"]) == 0
+        out = capsys.readouterr().out
+        assert "smoke" in out and "default" in out
+
+    def test_list_mutations(self, capsys):
+        assert main(["mc", "--list-mutations"]) == 0
+        out = capsys.readouterr().out
+        assert "skip-merge-writeback" in out
+
+
+class TestExploreCommand:
+    def test_smoke_clean_exit_zero(self, capsys):
+        assert main(["mc", "--preset", "smoke", "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert "exploration is exhaustive" in out
+        assert "all invariants hold" in out
+
+    def test_json_output(self, capsys):
+        assert main(["mc", "--preset", "smoke", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+        assert payload["exhaustive"] is True
+        assert payload["states"] > 100
+
+    def test_unknown_preset_exit_two(self, capsys):
+        assert main(["mc", "--preset", "bogus"]) == 2
+        assert "unknown preset" in capsys.readouterr().err
+
+    def test_unknown_mutation_exit_two(self, capsys):
+        assert main(["mc", "--preset", "smoke", "--mutate", "bogus"]) == 2
+        assert "unknown mutation" in capsys.readouterr().err
+
+    def test_summary_row(self, capsys, tmp_path):
+        summary = tmp_path / "summary.md"
+        assert main(["mc", "--preset", "smoke", "--quiet",
+                     "--summary", str(summary)]) == 0
+        row = summary.read_text()
+        assert "`smoke`" in row and "exhaustive" in row and "clean" in row
+
+
+class TestMutationFlow:
+    def test_mutation_caught_exit_one(self, capsys):
+        code = main(["mc", "--preset", "smoke", "--quiet",
+                     "--mutate", "keep-incoherent-bit"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "INVARIANT VIOLATION" in out
+        assert "counterexample" in out
+
+    def test_trace_out_and_replay(self, capsys, tmp_path):
+        trace = tmp_path / "trace.json"
+        assert main(["mc", "--preset", "smoke", "--quiet",
+                     "--mutate", "keep-incoherent-bit",
+                     "--trace-out", str(trace)]) == 1
+        capsys.readouterr()
+        assert main(["mc", "--replay", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "reproduced" in out
+
+    def test_replay_missing_file_exit_two(self, capsys):
+        assert main(["mc", "--replay", "/nonexistent/trace.json"]) == 2
+
+    def test_replay_json(self, capsys, tmp_path):
+        trace = tmp_path / "trace.json"
+        main(["mc", "--preset", "smoke", "--quiet",
+              "--mutate", "skip-merge-writeback",
+              "--trace-out", str(trace)])
+        capsys.readouterr()
+        assert main(["mc", "--replay", str(trace), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["reproduced"] is True
+        assert payload["mutation"] == "skip-merge-writeback"

@@ -1,0 +1,63 @@
+"""Every registered bug injection must be caught with a short trace."""
+
+import pytest
+
+from repro.mc import MUTATIONS, PRESETS, apply_mutation, build_machine, explore
+
+
+def preset_for(name: str) -> str:
+    # The sparse-conflict bug only fires under directory pressure.
+    return "direvict" if name == "ignore-sparse-conflict" else "smoke"
+
+
+class TestMutationRegistry:
+    def test_all_have_expectations(self):
+        for mutation in MUTATIONS.values():
+            assert mutation.expect
+            assert mutation.description
+
+    def test_unknown_rejected(self):
+        machine = build_machine(PRESETS["smoke"])
+        with pytest.raises(KeyError):
+            apply_mutation("no-such-bug", machine)
+
+
+@pytest.mark.parametrize("name", sorted(MUTATIONS))
+def test_mutation_is_caught(name):
+    mutation = MUTATIONS[name]
+    result = explore(PRESETS[preset_for(name)], mutation=name,
+                     max_states=20_000)
+    assert not result.ok, f"{name} survived exploration undetected"
+    assert result.trace is not None
+    assert len(result.trace) <= 10
+    assert any(mutation.expect in v for v in result.violations), \
+        f"{name}: expected a {mutation.expect!r} violation, " \
+        f"got {result.violations}"
+
+
+@pytest.mark.parametrize("name", sorted(MUTATIONS))
+def test_counterexample_replays(name, tmp_path):
+    from repro.mc.trace import load_trace, replay, write_trace
+
+    result = explore(PRESETS[preset_for(name)], mutation=name,
+                     max_states=20_000)
+    path = tmp_path / "trace.json"
+    write_trace(str(path), result)
+    outcome = replay(load_trace(str(path)))
+    assert outcome["reproduced"]
+    assert outcome["failing_step"] == len(result.trace)
+
+
+def test_unmutated_machine_stays_clean():
+    """The flip side: the real protocol passes the same universes."""
+    result = explore(PRESETS["smoke"])
+    assert result.ok and result.exhaustive
+
+
+def test_trace_format_rejects_other_json(tmp_path):
+    from repro.mc.trace import load_trace
+
+    path = tmp_path / "other.json"
+    path.write_text('{"format": "something-else"}')
+    with pytest.raises(ValueError):
+        load_trace(str(path))
