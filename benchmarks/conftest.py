@@ -7,16 +7,36 @@ Every benchmark regenerates one table/figure of the paper's evaluation
 EXPERIMENTS.md records the committed numbers and the scale that produced
 them.
 
-Run with ``pytest benchmarks/ --benchmark-only``.
+Run with ``pytest benchmarks/ --benchmark-only``. The experiment drivers
+fan their independent cells across worker processes when ``REPRO_JOBS``
+is set (0 = one worker per CPU); ``pytest benchmarks/ --jobs N`` is a
+shorthand that sets it for the whole session. Parallel runs produce
+bit-identical tables (see docs/performance.md).
 """
 
+import os
 import pathlib
 
 import pytest
 
 from repro.analysis.experiments import ExperimentConfig
+from repro.analysis.parallel import parse_jobs
 
 RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--jobs", default=None, metavar="N",
+        help="worker processes per experiment sweep "
+             "(sets REPRO_JOBS; 0 = one worker per CPU)")
+
+
+def pytest_configure(config):
+    raw = config.getoption("--jobs")
+    if raw is not None:
+        parse_jobs(raw, "--jobs")   # fail fast with the friendly message
+        os.environ["REPRO_JOBS"] = raw
 
 
 @pytest.fixture(scope="session")

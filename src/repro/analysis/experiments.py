@@ -7,6 +7,12 @@ workload scale -- defaults are sized for a laptop; set ``REPRO_CLUSTERS``
 / ``REPRO_SCALE`` (or ``REPRO_FULL=1`` for the paper's 128-cluster
 machine) to run larger. EXPERIMENTS.md records which scale produced the
 committed numbers.
+
+Every driver sweeps *independent* cells (each builds a fresh machine),
+so they all accept ``jobs``/``REPRO_JOBS`` to fan cells across worker
+processes and ``progress`` to report completion to stderr; results are
+merged in deterministic cell order, so parallel output is bit-identical
+to serial output (see :mod:`repro.analysis.parallel`).
 """
 
 from __future__ import annotations
@@ -16,7 +22,9 @@ import os
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Sequence, Tuple
 
+from repro.analysis.parallel import Cell, CellSweep, ProgressFn
 from repro.config import MachineConfig, Policy
+from repro.errors import SimulationError
 from repro.sim.machine import Machine
 from repro.sim.stats import RunStats
 from repro.types import DirectoryKind, SegmentClass
@@ -48,6 +56,40 @@ def figure10_policies() -> Dict[str, Policy]:
     }
 
 
+def _env_int(name: str, default: int) -> int:
+    raw = os.environ.get(name)
+    if raw is None:
+        return default
+    try:
+        value = int(raw)
+    except ValueError:
+        raise SimulationError(
+            f"{name} must be a positive integer (e.g. {name}=8); "
+            f"got {raw!r}") from None
+    if value <= 0:
+        raise SimulationError(
+            f"{name} must be a positive integer (e.g. {name}=8); "
+            f"got {raw!r}")
+    return value
+
+
+def _env_float(name: str, default: float) -> float:
+    raw = os.environ.get(name)
+    if raw is None:
+        return default
+    try:
+        value = float(raw)
+    except ValueError:
+        raise SimulationError(
+            f"{name} must be a positive number (e.g. {name}=0.5); "
+            f"got {raw!r}") from None
+    if value <= 0:
+        raise SimulationError(
+            f"{name} must be a positive number (e.g. {name}=0.5); "
+            f"got {raw!r}")
+    return value
+
+
 @dataclass
 class ExperimentConfig:
     """Machine/workload scale shared by every experiment driver."""
@@ -65,13 +107,19 @@ class ExperimentConfig:
 
         ``REPRO_FULL=1`` selects the paper's full 128-cluster machine;
         otherwise ``REPRO_CLUSTERS`` (default 4) and ``REPRO_SCALE``
-        (default 1.0) control the scaled run.
+        (default 1.0) control the scaled run. Malformed values raise a
+        :class:`~repro.errors.SimulationError` naming the variable and
+        its accepted values instead of a raw parse traceback.
         """
-        if os.environ.get("REPRO_FULL") == "1":
+        full = os.environ.get("REPRO_FULL")
+        if full not in (None, "", "0", "1"):
+            raise SimulationError(
+                f"REPRO_FULL must be 0 or 1; got {full!r}")
+        if full == "1":
             return ExperimentConfig(n_clusters=128)
         return ExperimentConfig(
-            n_clusters=int(os.environ.get("REPRO_CLUSTERS", "4")),
-            scale=float(os.environ.get("REPRO_SCALE", "1.0")),
+            n_clusters=_env_int("REPRO_CLUSTERS", 4),
+            scale=_env_float("REPRO_SCALE", 1.0),
         )
 
     def machine_config(self, **extra) -> MachineConfig:
@@ -109,7 +157,9 @@ def run_workload(name: str, policy: Policy, exp: ExperimentConfig,
 
 def run_message_breakdown(workloads: Sequence[str] = ALL_WORKLOADS,
                           policies: Optional[Dict[str, Policy]] = None,
-                          exp: Optional[ExperimentConfig] = None
+                          exp: Optional[ExperimentConfig] = None,
+                          jobs: Optional[int] = None,
+                          progress: Optional[ProgressFn] = None
                           ) -> Dict[str, Dict[str, RunStats]]:
     """L2->L3 message counts per workload per design point.
 
@@ -119,12 +169,16 @@ def run_message_breakdown(workloads: Sequence[str] = ALL_WORKLOADS,
     """
     exp = exp or ExperimentConfig()
     policies = policies or standard_policies()
+    sweep = CellSweep(jobs=jobs, progress=progress)
     results: Dict[str, Dict[str, RunStats]] = {}
     for name in workloads:
         results[name] = {}
         for label, policy in policies.items():
-            stats, _machine = run_workload(name, policy, exp)
-            results[name][label] = stats
+            def merge(stats: RunStats, name=name, label=label) -> None:
+                results[name][label] = stats
+            sweep.add(Cell.make(name, policy, exp,
+                                label=f"{name}/{label}"), merge)
+    sweep.run()
     return results
 
 
@@ -135,7 +189,9 @@ L2_SWEEP_BYTES = (8 * 1024, 16 * 1024, 32 * 1024, 64 * 1024, 128 * 1024)
 
 def run_useful_coherence_ops(workloads: Sequence[str] = ALL_WORKLOADS,
                              l2_sizes: Sequence[int] = L2_SWEEP_BYTES,
-                             exp: Optional[ExperimentConfig] = None
+                             exp: Optional[ExperimentConfig] = None,
+                             jobs: Optional[int] = None,
+                             progress: Optional[ProgressFn] = None
                              ) -> Dict[str, Dict[int, Dict[str, float]]]:
     """Fraction of SWcc INV/WB instructions that hit valid L2 lines.
 
@@ -144,20 +200,24 @@ def run_useful_coherence_ops(workloads: Sequence[str] = ALL_WORKLOADS,
     useful fraction rises with capacity (Figure 3).
     """
     exp = exp or ExperimentConfig()
+    sweep = CellSweep(jobs=jobs, progress=progress)
     results: Dict[str, Dict[int, Dict[str, float]]] = {}
     for name in workloads:
         results[name] = {}
         for l2_bytes in l2_sizes:
-            stats, _machine = run_workload(name, Policy.swcc(), exp,
-                                           l2_bytes=l2_bytes)
-            counters = stats.messages
-            results[name][l2_bytes] = {
-                "useful_inv": counters.useful_inv_fraction,
-                "useful_wb": counters.useful_wb_fraction,
-                "useful_all": counters.useful_coherence_fraction,
-                "inv_issued": counters.inv_issued,
-                "wb_issued": counters.wb_issued,
-            }
+            def merge(stats: RunStats, name=name, l2_bytes=l2_bytes) -> None:
+                counters = stats.messages
+                results[name][l2_bytes] = {
+                    "useful_inv": counters.useful_inv_fraction,
+                    "useful_wb": counters.useful_wb_fraction,
+                    "useful_all": counters.useful_coherence_fraction,
+                    "inv_issued": counters.inv_issued,
+                    "wb_issued": counters.wb_issued,
+                }
+            sweep.add(Cell.make(name, Policy.swcc(), exp,
+                                label=f"{name}/l2={l2_bytes}",
+                                l2_bytes=l2_bytes), merge)
+    sweep.run()
     return results
 
 
@@ -166,7 +226,9 @@ def run_useful_coherence_ops(workloads: Sequence[str] = ALL_WORKLOADS,
 def run_directory_sweep(workloads: Sequence[str] = ALL_WORKLOADS,
                         sizes: Sequence[int] = DIRECTORY_SWEEP_SIZES,
                         hybrid: bool = False,
-                        exp: Optional[ExperimentConfig] = None
+                        exp: Optional[ExperimentConfig] = None,
+                        jobs: Optional[int] = None,
+                        progress: Optional[ProgressFn] = None
                         ) -> Dict[str, Dict[int, float]]:
     """Runtime vs directory entries per bank, normalized to infinite.
 
@@ -178,22 +240,35 @@ def run_directory_sweep(workloads: Sequence[str] = ALL_WORKLOADS,
     make = Policy.cohesion if hybrid else Policy.hwcc_real
     baseline_policy = (Policy.cohesion_ideal() if hybrid
                        else Policy.hwcc_ideal())
+    sweep = CellSweep(jobs=jobs, progress=progress)
+    baselines: Dict[str, float] = {}
     results: Dict[str, Dict[int, float]] = {}
     for name in workloads:
-        base_stats, _machine = run_workload(name, baseline_policy, exp)
-        base = max(1.0, base_stats.cycles)
         results[name] = {}
+
+        def merge_base(stats: RunStats, name=name) -> None:
+            baselines[name] = max(1.0, stats.cycles)
+        sweep.add(Cell.make(name, baseline_policy, exp,
+                            label=f"{name}/baseline"), merge_base)
         for entries in sizes:
             policy = make(entries_per_bank=entries, assoc=entries)
-            stats, _machine = run_workload(name, policy, exp)
-            results[name][entries] = stats.cycles / base
+
+            def merge(stats: RunStats, name=name, entries=entries) -> None:
+                # Merges replay in append order, so the baseline for
+                # this workload is already in place.
+                results[name][entries] = stats.cycles / baselines[name]
+            sweep.add(Cell.make(name, policy, exp,
+                                label=f"{name}/dir={entries}"), merge)
+    sweep.run()
     return results
 
 
 # -- E6: directory occupancy (Figure 9c) ----------------------------------------
 
 def run_directory_occupancy(workloads: Sequence[str] = ALL_WORKLOADS,
-                            exp: Optional[ExperimentConfig] = None
+                            exp: Optional[ExperimentConfig] = None,
+                            jobs: Optional[int] = None,
+                            progress: Optional[ProgressFn] = None
                             ) -> Dict[str, Dict[str, dict]]:
     """Time-average and maximum directory entries, classified by segment.
 
@@ -202,42 +277,56 @@ def run_directory_occupancy(workloads: Sequence[str] = ALL_WORKLOADS,
     exact time-weighted occupancy instead of sampling).
     """
     exp = exp or ExperimentConfig()
+    sweep = CellSweep(jobs=jobs, progress=progress)
     results: Dict[str, Dict[str, dict]] = {}
     for name in workloads:
         results[name] = {}
         for label, policy in (("Cohesion", Policy.cohesion_ideal()),
                               ("HWcc", Policy.hwcc_ideal())):
-            stats, _machine = run_workload(name, policy, exp)
-            results[name][label] = {
-                "avg": stats.dir_avg_entries,
-                "max": stats.dir_max_entries,
-                "by_class": dict(stats.dir_avg_by_class),
-            }
+            def merge(stats: RunStats, name=name, label=label) -> None:
+                results[name][label] = {
+                    "avg": stats.dir_avg_entries,
+                    "max": stats.dir_max_entries,
+                    "by_class": dict(stats.dir_avg_by_class),
+                }
+            sweep.add(Cell.make(name, policy, exp,
+                                label=f"{name}/{label}"), merge)
+    sweep.run()
     return results
 
 
 # -- E7: relative performance (Figure 10) -----------------------------------------
 
 def run_performance(workloads: Sequence[str] = ALL_WORKLOADS,
-                    exp: Optional[ExperimentConfig] = None
+                    exp: Optional[ExperimentConfig] = None,
+                    jobs: Optional[int] = None,
+                    progress: Optional[ProgressFn] = None
                     ) -> Dict[str, Dict[str, float]]:
     """Runtime of the six Figure 10 configs, normalized to Cohesion."""
     exp = exp or ExperimentConfig()
-    results: Dict[str, Dict[str, float]] = {}
+    sweep = CellSweep(jobs=jobs, progress=progress)
+    raw: Dict[str, Dict[str, float]] = {}
     for name in workloads:
-        raw: Dict[str, float] = {}
+        raw[name] = {}
         for label, policy in figure10_policies().items():
-            stats, _machine = run_workload(name, policy, exp)
-            raw[label] = stats.cycles
-        base = max(1.0, raw["Cohesion"])
-        results[name] = {label: cycles / base for label, cycles in raw.items()}
+            def merge(stats: RunStats, name=name, label=label) -> None:
+                raw[name][label] = stats.cycles
+            sweep.add(Cell.make(name, policy, exp,
+                                label=f"{name}/{label}"), merge)
+    sweep.run()
+    results: Dict[str, Dict[str, float]] = {}
+    for name, per in raw.items():
+        base = max(1.0, per["Cohesion"])
+        results[name] = {label: cycles / base for label, cycles in per.items()}
     return results
 
 
 # -- E10: stack-only ablation (Section 4.3) -----------------------------------------
 
 def run_stack_only_ablation(workloads: Sequence[str] = ALL_WORKLOADS,
-                            exp: Optional[ExperimentConfig] = None
+                            exp: Optional[ExperimentConfig] = None,
+                            jobs: Optional[int] = None,
+                            progress: Optional[ProgressFn] = None
                             ) -> Dict[str, Dict[str, float]]:
     """Directory savings from keeping only stacks (and code) incoherent.
 
@@ -250,16 +339,26 @@ def run_stack_only_ablation(workloads: Sequence[str] = ALL_WORKLOADS,
     the coherent heap), and full Cohesion.
     """
     exp = exp or ExperimentConfig()
-    results: Dict[str, Dict[str, float]] = {}
+    sweep = CellSweep(jobs=jobs, progress=progress)
+    raw: Dict[str, Dict[str, RunStats]] = {}
     for name in workloads:
-        hwcc, _m = run_workload(name, Policy.hwcc_ideal(), exp)
-        stack_only, _m = run_workload(name, Policy.cohesion_ideal(), exp,
-                                      force_hw_data=True)
-        full, _m = run_workload(name, Policy.cohesion_ideal(), exp)
+        raw[name] = {}
+        for label, policy, force in (
+                ("HWcc", Policy.hwcc_ideal(), False),
+                ("StackOnly", Policy.cohesion_ideal(), True),
+                ("Cohesion", Policy.cohesion_ideal(), False)):
+            def merge(stats: RunStats, name=name, label=label) -> None:
+                raw[name][label] = stats
+            sweep.add(Cell.make(name, policy, exp, force_hw_data=force,
+                                label=f"{name}/{label}"), merge)
+    sweep.run()
+    results: Dict[str, Dict[str, float]] = {}
+    for name, per in raw.items():
+        hwcc = per["HWcc"]
         results[name] = {
             "HWcc": hwcc.dir_avg_entries,
-            "StackOnly": stack_only.dir_avg_entries,
-            "Cohesion": full.dir_avg_entries,
+            "StackOnly": per["StackOnly"].dir_avg_entries,
+            "Cohesion": per["Cohesion"].dir_avg_entries,
             "stack_share_of_hwcc": (
                 hwcc.dir_avg_by_class[SegmentClass.STACK]
                 / max(1.0, hwcc.dir_avg_entries)),

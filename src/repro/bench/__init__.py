@@ -1,0 +1,25 @@
+"""Performance-regression harness: ``repro bench``.
+
+Times a pinned matrix of simulation cells (see
+:data:`repro.bench.harness.PINNED_MATRIX`), records wall/CPU time,
+simulated throughput and peak RSS per cell, and emits a schema-versioned
+``BENCH_<timestamp>.json`` next to a human-readable table. A committed
+reference lives in ``benchmarks/baseline.json``; ``repro bench
+--compare`` grades a fresh run against any previous JSON with a
+configurable regression threshold, so the repo finally accumulates a
+perf trajectory (ROADMAP: "as fast as the hardware allows").
+"""
+
+from repro.bench.harness import (BENCH_SCHEMA, PINNED_MATRIX, BenchSpec,
+                                 default_baseline_path, run_bench,
+                                 select_specs)
+from repro.bench.report import (BenchDocError, CompareResult, check_doc,
+                                compare_runs, format_bench_table,
+                                format_compare_table, summary_markdown)
+
+__all__ = [
+    "BENCH_SCHEMA", "PINNED_MATRIX", "BenchSpec", "default_baseline_path",
+    "run_bench", "select_specs", "BenchDocError", "CompareResult",
+    "check_doc", "compare_runs", "format_bench_table",
+    "format_compare_table", "summary_markdown",
+]

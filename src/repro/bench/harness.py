@@ -1,0 +1,184 @@
+"""Bench matrix definition and the measurement harness.
+
+The matrix is *pinned*: every cell fixes its workload, design point,
+machine scale and dataset scale explicitly, independent of the REPRO_*
+environment, so two ``BENCH_*.json`` files are always comparing the same
+simulated work. Wall/CPU time is taken as the **minimum over --reps
+repetitions** (the standard way to strip scheduler noise from a
+single-threaded measurement); simulated counters (cycles, ops, tasks)
+are recorded alongside so a compare can also detect *behavioral* drift,
+which no amount of timing noise can explain away.
+"""
+
+from __future__ import annotations
+
+import gc
+import pathlib
+import platform
+import sys
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.parallel import (Cell, ProgressFn, resolve_jobs,
+                                     run_cells)
+from repro.errors import SimulationError
+
+#: Bumped whenever the JSON layout changes incompatibly.
+BENCH_SCHEMA = 1
+
+
+@dataclass(frozen=True)
+class BenchSpec:
+    """One pinned cell of the bench matrix."""
+
+    key: str                  # stable identifier, the compare join key
+    workload: str
+    policy: str               # repro.cli.policy_from_name() spelling
+    n_clusters: int
+    scale: float
+    track_data: bool = False
+
+    def describe(self) -> str:
+        extra = ", track-data" if self.track_data else ""
+        return (f"{self.workload} / {self.policy} "
+                f"({self.n_clusters} clusters, scale {self.scale:g}{extra})")
+
+
+#: The pinned matrix. The flagship cell is the 16-cluster kmeans
+#: Cohesion point called out by the ROADMAP (one full-scale-ish cell);
+#: the rest are small cells covering each protocol kind, a fine-grained
+#: kernel (gjk, task-dequeue bound), and the tracked-data machinery.
+PINNED_MATRIX: tuple = (
+    BenchSpec("kmeans-cohesion-c16", "kmeans", "cohesion", 16, 1.0),
+    BenchSpec("kmeans-swcc-c2", "kmeans", "swcc", 2, 0.5),
+    BenchSpec("sobel-cohesion-c2", "sobel", "cohesion", 2, 0.5),
+    BenchSpec("gjk-hwcc-c2", "gjk", "hwcc-real", 2, 0.5),
+    BenchSpec("heat-swcc-c2", "heat", "swcc", 2, 0.5),
+    BenchSpec("kmeans-cohesion-c2-track", "kmeans", "cohesion", 2, 0.5,
+              track_data=True),
+)
+
+
+def default_baseline_path() -> pathlib.Path:
+    """The committed reference: ``<repo>/benchmarks/baseline.json``."""
+    return (pathlib.Path(__file__).resolve().parents[3]
+            / "benchmarks" / "baseline.json")
+
+
+def _max_rss_kb() -> int:
+    """Peak RSS of the calling process, in kB (0 where unsupported)."""
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX
+        return 0
+    rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # pragma: no cover - reported in bytes
+        rss //= 1024
+    return int(rss)
+
+
+def _spec_cell(spec: BenchSpec, reps: int) -> Cell:
+    """Encode a spec as a picklable parallel Cell for the bench worker."""
+    from repro.analysis.experiments import ExperimentConfig
+    from repro.cli import policy_from_name
+
+    exp = ExperimentConfig(n_clusters=spec.n_clusters, scale=spec.scale,
+                           track_data=spec.track_data)
+    return Cell.make(spec.workload, policy_from_name(spec.policy), exp,
+                     label=spec.key, _bench_reps=reps)
+
+
+def _bench_cell(cell: Cell) -> Dict[str, object]:
+    """Worker: simulate one cell ``reps`` times, return its measurements.
+
+    Runs with the cyclic GC disabled (collection pauses are measurement
+    noise, and one cell's object graph is bounded); ``min`` over the
+    repetitions is reported. RSS is the worker process's peak, which is
+    per-cell when cells run in a pool and cumulative when run serially
+    in one process -- compare RSS between runs of the same ``--jobs``.
+    """
+    from repro.analysis.experiments import run_workload
+
+    extra = dict(cell.config_extra)
+    reps = int(extra.pop("_bench_reps", 1))
+    wall = cpu = None
+    stats = None
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        for _rep in range(reps):
+            wall0 = time.perf_counter()
+            cpu0 = time.process_time()
+            stats, _machine = run_workload(cell.workload, cell.policy,
+                                           cell.exp,
+                                           force_hw_data=cell.force_hw_data,
+                                           **extra)
+            wall1 = time.perf_counter() - wall0
+            cpu1 = time.process_time() - cpu0
+            wall = wall1 if wall is None else min(wall, wall1)
+            cpu = cpu1 if cpu is None else min(cpu, cpu1)
+            gc.collect()
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    return {
+        "wall_s": round(wall, 6),
+        "cpu_s": round(cpu, 6),
+        "cycles": stats.cycles,
+        "ops": stats.ops_executed,
+        "tasks": stats.tasks_executed,
+        "ops_per_sec": round(stats.ops_executed / wall) if wall else 0,
+        "tasks_per_sec": round(stats.tasks_executed / wall, 1) if wall else 0,
+        "max_rss_kb": _max_rss_kb(),
+    }
+
+
+def run_bench(specs: Optional[Sequence[BenchSpec]] = None, reps: int = 1,
+              jobs: Optional[int] = None,
+              progress: Optional[ProgressFn] = None) -> Dict[str, object]:
+    """Run the matrix and return the full schema-versioned document."""
+    specs = list(PINNED_MATRIX if specs is None else specs)
+    if not specs:
+        raise SimulationError("no cells selected")
+    if reps < 1:
+        raise SimulationError(f"reps must be >= 1; got {reps}")
+    cells = [_spec_cell(spec, reps) for spec in specs]
+    results = run_cells(cells, jobs=jobs, progress=progress,
+                        worker=_bench_cell)
+    doc: Dict[str, object] = {
+        "schema": BENCH_SCHEMA,
+        "tool": "repro bench",
+        "created": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "jobs": min(resolve_jobs(jobs), len(specs)),
+        "reps": reps,
+        "cells": {},
+    }
+    cells_out: Dict[str, Dict[str, object]] = doc["cells"]  # type: ignore
+    for spec, measured in zip(specs, results):
+        entry = {
+            "workload": spec.workload,
+            "policy": spec.policy,
+            "n_clusters": spec.n_clusters,
+            "scale": spec.scale,
+            "track_data": spec.track_data,
+        }
+        entry.update(measured)
+        cells_out[spec.key] = entry
+    return doc
+
+
+def select_specs(pattern: Optional[str]) -> List[BenchSpec]:
+    """Resolve a ``--cells`` filter (comma-separated substrings)."""
+    if not pattern:
+        return list(PINNED_MATRIX)
+    needles = [p.strip() for p in pattern.split(",") if p.strip()]
+    chosen = [spec for spec in PINNED_MATRIX
+              if any(needle in spec.key for needle in needles)]
+    if not chosen:
+        raise SimulationError(
+            f"no cells match {pattern!r} "
+            f"(have: {', '.join(s.key for s in PINNED_MATRIX)})")
+    return chosen

@@ -1,0 +1,158 @@
+"""Rendering and grading of bench runs.
+
+Comparisons join two schema-versioned documents on cell key and grade
+two independent things:
+
+* **timing** -- a cell regresses when its wall time exceeds the old one
+  by more than the threshold fraction (default 0.25, i.e. >25% slower);
+* **behavior** -- simulated counters (cycles, ops, tasks) must match
+  exactly; any drift means the two runs did not simulate the same work,
+  which a timing threshold must not paper over.
+
+Exit-code convention mirrors ``repro lint`` / ``repro mc``: 0 clean,
+1 regression found, 2 usage/input error.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.report import format_table
+from repro.bench.harness import BENCH_SCHEMA
+
+#: Simulated counters that must be identical between comparable runs.
+_EXACT_FIELDS = ("cycles", "ops", "tasks")
+
+
+@dataclass
+class CompareResult:
+    """Outcome of grading ``new`` against ``old``."""
+
+    threshold: float
+    rows: List[List[object]] = field(default_factory=list)
+    regressions: List[str] = field(default_factory=list)
+    drifted: List[str] = field(default_factory=list)
+    missing: List[str] = field(default_factory=list)   # in old, not in new
+    added: List[str] = field(default_factory=list)     # in new, not in old
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions and not self.drifted
+
+    def summary_line(self) -> str:
+        n = len(self.rows)
+        if self.ok:
+            return (f"bench compare: {n} cell(s) within "
+                    f"{self.threshold:.0%} of reference")
+        parts = []
+        if self.regressions:
+            parts.append(f"{len(self.regressions)} timing regression(s): "
+                         + ", ".join(self.regressions))
+        if self.drifted:
+            parts.append(f"{len(self.drifted)} behavioral drift(s): "
+                         + ", ".join(self.drifted)
+                         + " (intended? regenerate the reference with "
+                           "`repro bench --update-baseline`)")
+        return f"bench compare: {n} cell(s); " + "; ".join(parts)
+
+
+class BenchDocError(ValueError):
+    """A bench JSON document is unusable (wrong schema/shape)."""
+
+
+def check_doc(doc: object, source: str = "bench document") -> Dict[str, dict]:
+    """Validate a loaded document, returning its cells mapping."""
+    if not isinstance(doc, dict):
+        raise BenchDocError(f"{source}: not a JSON object")
+    schema = doc.get("schema")
+    if schema != BENCH_SCHEMA:
+        raise BenchDocError(
+            f"{source}: schema {schema!r} is not the supported "
+            f"schema {BENCH_SCHEMA}")
+    cells = doc.get("cells")
+    if not isinstance(cells, dict) or not cells:
+        raise BenchDocError(f"{source}: no cells recorded")
+    for key, cell in cells.items():
+        if not isinstance(cell, dict) or "wall_s" not in cell:
+            raise BenchDocError(f"{source}: cell {key!r} is malformed")
+    return cells
+
+
+def compare_runs(old: dict, new: dict,
+                 threshold: float = 0.25) -> CompareResult:
+    """Grade ``new`` against ``old`` (raises :class:`BenchDocError`)."""
+    if not 0 < threshold:
+        raise BenchDocError(f"threshold must be positive; got {threshold}")
+    old_cells = check_doc(old, "reference run")
+    new_cells = check_doc(new, "new run")
+    shared = [key for key in old_cells if key in new_cells]
+    if not shared:
+        raise BenchDocError("reference and new runs share no cell keys")
+    result = CompareResult(threshold=threshold)
+    result.missing = [k for k in old_cells if k not in new_cells]
+    result.added = [k for k in new_cells if k not in old_cells]
+    for key in shared:
+        before, after = old_cells[key], new_cells[key]
+        ratio = (after["wall_s"] / before["wall_s"]
+                 if before["wall_s"] else float("inf"))
+        drift = [f for f in _EXACT_FIELDS
+                 if f in before and f in after and before[f] != after[f]]
+        verdict = "ok"
+        if drift:
+            verdict = "DRIFT " + ",".join(drift)
+            result.drifted.append(key)
+        elif ratio > 1.0 + threshold:
+            verdict = "SLOWER"
+            result.regressions.append(key)
+        result.rows.append([key, before["wall_s"], after["wall_s"],
+                            f"{ratio:.2f}x", verdict])
+    return result
+
+
+def format_compare_table(result: CompareResult) -> str:
+    lines = [format_table(
+        ["cell", "ref wall s", "new wall s", "ratio", "verdict"],
+        result.rows, title="bench comparison")]
+    if result.missing:
+        lines.append("missing from new run: " + ", ".join(result.missing))
+    if result.added:
+        lines.append("new cells (not graded): " + ", ".join(result.added))
+    lines.append(result.summary_line())
+    return "\n".join(lines)
+
+
+def format_bench_table(doc: dict) -> str:
+    """Human-readable table for one run."""
+    cells = check_doc(doc)
+    rows = []
+    for key, cell in cells.items():
+        rows.append([key, cell["wall_s"], cell["cpu_s"],
+                     cell.get("ops_per_sec", 0), cell.get("tasks_per_sec", 0),
+                     cell.get("cycles", 0), cell.get("max_rss_kb", 0)])
+    title = (f"repro bench (schema {doc['schema']}, jobs {doc.get('jobs')}, "
+             f"reps {doc.get('reps')}, {doc.get('created', '?')})")
+    return format_table(
+        ["cell", "wall s", "cpu s", "ops/s", "tasks/s", "cycles", "rss kB"],
+        rows, title=title)
+
+
+def summary_markdown(doc: dict,
+                     compare: Optional[CompareResult] = None) -> str:
+    """Markdown fragment for CI step summaries."""
+    cells = check_doc(doc)
+    lines = ["### repro bench",
+             "",
+             f"{len(cells)} cell(s), jobs={doc.get('jobs')}, "
+             f"reps={doc.get('reps')}, python {doc.get('python')}",
+             "",
+             "| cell | wall s | ops/s | cycles |",
+             "| --- | ---: | ---: | ---: |"]
+    for key, cell in cells.items():
+        lines.append(f"| `{key}` | {cell['wall_s']:.3f} "
+                     f"| {cell.get('ops_per_sec', 0):,} "
+                     f"| {cell.get('cycles', 0):,.0f} |")
+    if compare is not None:
+        lines += ["", f"**{compare.summary_line()}**"]
+    lines.append("")
+    return "\n".join(lines)

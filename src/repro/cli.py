@@ -46,8 +46,10 @@ from repro.analysis.experiments import (DIRECTORY_SWEEP_SIZES, L2_SWEEP_BYTES,
                                         run_useful_coherence_ops,
                                         run_workload, standard_policies,
                                         figure10_policies)
+from repro.analysis.parallel import stderr_progress
 from repro.analysis.report import (format_table, message_breakdown_rows,
                                    short_message_headers)
+from repro.errors import ReproError, SimulationError
 from repro.config import MachineConfig, Policy
 from repro.types import DirectoryKind, SegmentClass
 from repro.workloads import ALL_WORKLOADS
@@ -97,6 +99,18 @@ def _add_scale_args(parser) -> None:
                         help="clusters to simulate (8 cores each)")
     parser.add_argument("--scale", type=float, default=None,
                         help="workload dataset/task scale factor")
+
+
+def _add_jobs_args(parser) -> None:
+    parser.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="worker processes for independent cells "
+                             "(0 = one per CPU; default: $REPRO_JOBS or 1)")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress per-cell progress lines on stderr")
+
+
+def _progress_from_args(args, prefix: str):
+    return None if args.quiet else stderr_progress(prefix)
 
 
 # -- commands ----------------------------------------------------------------
@@ -283,8 +297,9 @@ def cmd_mc(args) -> int:
 
 def cmd_compare(args) -> int:
     exp = _experiment_from_args(args)
-    results = run_message_breakdown([args.workload], standard_policies(),
-                                    exp)[args.workload]
+    results = run_message_breakdown(
+        [args.workload], standard_policies(), exp, jobs=args.jobs,
+        progress=_progress_from_args(args, "compare"))[args.workload]
     rows = message_breakdown_rows(results, normalize_to="SWcc")
     print(format_table(short_message_headers(), rows,
                        title=f"{args.workload}: messages normalized to SWcc"))
@@ -305,8 +320,9 @@ def cmd_sweep(args) -> int:
     sizes = tuple(int(s) for s in args.sizes.split(","))
     rows = []
     for label, hybrid in (("HWcc", False), ("Cohesion", True)):
-        sweep = run_directory_sweep([args.workload], sizes, hybrid=hybrid,
-                                    exp=exp)[args.workload]
+        sweep = run_directory_sweep(
+            [args.workload], sizes, hybrid=hybrid, exp=exp, jobs=args.jobs,
+            progress=_progress_from_args(args, "sweep"))[args.workload]
         rows.append([label] + [sweep[s] for s in sizes])
     print(format_table(["config"] + [str(s) for s in sizes], rows,
                        title=f"{args.workload}: slowdown vs directory "
@@ -372,6 +388,8 @@ def cmd_figures(args) -> int:
     out = pathlib.Path(args.out)
     out.mkdir(parents=True, exist_ok=True)
     wanted = set(FIGURE_CHOICES[:-1]) if args.figure == "all" else {args.figure}
+    jobs = args.jobs
+    prog = _progress_from_args(args, "figures")
 
     def publish(name: str, text: str) -> None:
         print(f"== {name}")
@@ -381,7 +399,8 @@ def cmd_figures(args) -> int:
 
     if "fig02" in wanted or "fig08" in wanted:
         policies = standard_policies()
-        results = run_message_breakdown(ALL_WORKLOADS, policies, exp)
+        results = run_message_breakdown(ALL_WORKLOADS, policies, exp,
+                                        jobs=jobs, progress=prog)
         for figure, labels in (("fig02", ("SWcc", "HWccIdeal")),
                                ("fig08", tuple(policies))):
             if figure not in wanted:
@@ -394,7 +413,8 @@ def cmd_figures(args) -> int:
                                              title=f"[{name}]"))
             publish(figure, "\n\n".join(sections))
     if "fig03" in wanted:
-        results = run_useful_coherence_ops(ALL_WORKLOADS, L2_SWEEP_BYTES, exp)
+        results = run_useful_coherence_ops(ALL_WORKLOADS, L2_SWEEP_BYTES, exp,
+                                           jobs=jobs, progress=prog)
         headers = ["benchmark"] + [f"{s // 1024}K" for s in L2_SWEEP_BYTES]
         rows = [[n] + [results[n][s]["useful_all"] for s in L2_SWEEP_BYTES]
                 for n in ALL_WORKLOADS]
@@ -403,13 +423,15 @@ def cmd_figures(args) -> int:
         if figure in wanted:
             results = run_directory_sweep(ALL_WORKLOADS,
                                           DIRECTORY_SWEEP_SIZES,
-                                          hybrid=hybrid, exp=exp)
+                                          hybrid=hybrid, exp=exp,
+                                          jobs=jobs, progress=prog)
             headers = ["benchmark"] + [str(s) for s in DIRECTORY_SWEEP_SIZES]
             rows = [[n] + [results[n][s] for s in DIRECTORY_SWEEP_SIZES]
                     for n in ALL_WORKLOADS]
             publish(figure, format_table(headers, rows))
     if "fig09c" in wanted:
-        results = run_directory_occupancy(ALL_WORKLOADS, exp)
+        results = run_directory_occupancy(ALL_WORKLOADS, exp,
+                                          jobs=jobs, progress=prog)
         rows = []
         for n in ALL_WORKLOADS:
             for label in ("Cohesion", "HWcc"):
@@ -419,7 +441,8 @@ def cmd_figures(args) -> int:
         publish("fig09c", format_table(
             ["benchmark", "config", "avg", "max", "stack avg"], rows))
     if "fig10" in wanted:
-        results = run_performance(ALL_WORKLOADS, exp)
+        results = run_performance(ALL_WORKLOADS, exp, jobs=jobs,
+                                  progress=prog)
         labels = list(figure10_policies())
         rows = [[n] + [results[n][label] for label in labels]
                 for n in ALL_WORKLOADS]
@@ -430,12 +453,74 @@ def cmd_figures(args) -> int:
                 for e in model.summary()]
         publish("sec44", format_table(["scheme", "MB", "% of L2"], rows))
     if "ablation" in wanted:
-        results = run_stack_only_ablation(ALL_WORKLOADS, exp)
+        results = run_stack_only_ablation(ALL_WORKLOADS, exp, jobs=jobs,
+                                          progress=prog)
         rows = [[n, results[n]["HWcc"], results[n]["StackOnly"],
                  results[n]["Cohesion"]] for n in ALL_WORKLOADS]
         publish("ablation", format_table(
             ["benchmark", "HWcc", "stack-only", "Cohesion"], rows))
     return 0
+
+
+def cmd_bench(args) -> int:
+    import json
+    import time
+
+    # Lazy import: repro.bench builds cells via policy_from_name above,
+    # so importing it at module scope would be circular.
+    from repro.bench import (BenchDocError, PINNED_MATRIX, compare_runs,
+                             default_baseline_path, format_bench_table,
+                             format_compare_table, run_bench, select_specs,
+                             summary_markdown)
+
+    if args.list_cells:
+        rows = [[spec.key, spec.describe()] for spec in PINNED_MATRIX]
+        print(format_table(["cell", "configuration"], rows,
+                           title="pinned bench matrix"))
+        return 0
+
+    try:
+        specs = select_specs(args.cells)
+        doc = run_bench(specs, reps=args.reps, jobs=args.jobs,
+                        progress=_progress_from_args(args, "bench"))
+    except SimulationError as err:
+        print(f"bench: {err}", file=sys.stderr)
+        return 2
+
+    out_dir = pathlib.Path(args.out)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    json_path = out_dir / f"BENCH_{time.strftime('%Y%m%d-%H%M%S')}.json"
+    json_path.write_text(json.dumps(doc, indent=2) + "\n")
+    print(format_bench_table(doc))
+    print(f"written: {json_path}")
+
+    exit_code = 0
+    compare = None
+    if args.compare:
+        try:
+            reference = json.loads(pathlib.Path(args.compare).read_text())
+        except (OSError, ValueError) as err:
+            print(f"bench: cannot read {args.compare}: {err}",
+                  file=sys.stderr)
+            return 2
+        try:
+            compare = compare_runs(reference, doc, threshold=args.threshold)
+        except BenchDocError as err:
+            print(f"bench: {err}", file=sys.stderr)
+            return 2
+        print()
+        print(format_compare_table(compare))
+        exit_code = 0 if compare.ok else 1
+    if args.update_baseline:
+        baseline = (pathlib.Path(args.baseline) if args.baseline
+                    else default_baseline_path())
+        baseline.parent.mkdir(parents=True, exist_ok=True)
+        baseline.write_text(json.dumps(doc, indent=2) + "\n")
+        print(f"baseline updated: {baseline}")
+    if args.summary:
+        with open(args.summary, "a", encoding="utf-8") as fh:
+            fh.write(summary_markdown(doc, compare))
+    return exit_code
 
 
 # -- parser --------------------------------------------------------------------
@@ -505,12 +590,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_cmp = sub.add_parser("compare", help="all four design points")
     p_cmp.add_argument("--workload", choices=ALL_WORKLOADS, required=True)
     _add_scale_args(p_cmp)
+    _add_jobs_args(p_cmp)
     p_cmp.set_defaults(func=cmd_compare)
 
     p_sweep = sub.add_parser("sweep", help="directory capacity sweep")
     p_sweep.add_argument("--workload", choices=ALL_WORKLOADS, required=True)
     p_sweep.add_argument("--sizes", default="256,1024,4096,16384")
     _add_scale_args(p_sweep)
+    _add_jobs_args(p_sweep)
     p_sweep.set_defaults(func=cmd_sweep)
 
     p_fig = sub.add_parser("figures", help="regenerate paper figures")
@@ -518,7 +605,33 @@ def build_parser() -> argparse.ArgumentParser:
                        default="all")
     p_fig.add_argument("--out", default="results")
     _add_scale_args(p_fig)
+    _add_jobs_args(p_fig)
     p_fig.set_defaults(func=cmd_figures)
+
+    p_bench = sub.add_parser(
+        "bench", help="time the pinned perf-regression matrix")
+    p_bench.add_argument("--cells", default=None, metavar="PAT[,PAT]",
+                         help="only matrix cells whose key contains a PAT")
+    p_bench.add_argument("--reps", type=int, default=1,
+                         help="repetitions per cell (minimum is reported)")
+    p_bench.add_argument("--out", default="results",
+                         help="directory for BENCH_<timestamp>.json")
+    p_bench.add_argument("--compare", default=None, metavar="FILE",
+                         help="grade this run against a previous bench JSON")
+    p_bench.add_argument("--threshold", type=float, default=0.25,
+                         help="allowed wall-time growth fraction "
+                              "(default: 0.25 = 25%% slower fails)")
+    p_bench.add_argument("--update-baseline", action="store_true",
+                         help="write this run to the committed baseline")
+    p_bench.add_argument("--baseline", default=None, metavar="FILE",
+                         help="baseline path for --update-baseline "
+                              "(default: benchmarks/baseline.json)")
+    p_bench.add_argument("--summary", default=None, metavar="FILE",
+                         help="append a markdown summary (for CI)")
+    p_bench.add_argument("--list-cells", action="store_true",
+                         help="list the pinned matrix and exit")
+    _add_jobs_args(p_bench)
+    p_bench.set_defaults(func=cmd_bench)
 
     p_area = sub.add_parser("area", help="Section 4.4 area estimates")
     p_area.set_defaults(func=cmd_area)
@@ -540,7 +653,14 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except ReproError as err:
+        # Library errors carry friendly, named messages (bad REPRO_*
+        # values, unknown bench cells, ...) -- show them as a one-line
+        # usage error, not a traceback.
+        print(f"repro: {err}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -85,6 +85,15 @@ class MessageCounters:
             setattr(out, slot, getattr(self, slot) + getattr(other, slot))
         return out
 
+    def __eq__(self, other: object) -> bool:
+        # Value semantics: counters that crossed a process boundary (the
+        # parallel sweep runner pickles RunStats back) must still compare
+        # equal to locally-produced ones.
+        if not isinstance(other, MessageCounters):
+            return NotImplemented
+        return all(getattr(self, slot) == getattr(other, slot)
+                   for slot in MessageCounters.__slots__)
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         parts = ", ".join(f"{k.value}={v}" for k, v in self.as_dict().items() if v)
         return f"MessageCounters({parts})"

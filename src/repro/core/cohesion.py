@@ -42,7 +42,7 @@ from repro.mem.backing import BackingStore, NullBackingStore
 from repro.mem.cache import Cache, CacheLine
 from repro.mem.dram import DramModel
 from repro.runtime.layout import AddressLayout
-from repro.timing import ResourceGroup
+from repro.timing import BUCKET_CYCLES, _INV_BUCKET, ResourceGroup
 from repro.types import MessageType, PolicyKind
 
 
@@ -73,6 +73,12 @@ class MemorySystem:
                          track_data=config.track_data)
                    for b in range(config.l3_banks)]
         self.bank_ports = ResourceGroup(config.l3_banks)
+        # Hot-path lookup tables: the home bank of a line is a pure
+        # (and frequently recomputed) function of its address bits, and
+        # the DRAM channel of a bank is fixed at construction.
+        self._bank_memo: dict = {}
+        self._chan_of_bank = [self.map.channel_of_bank(b)
+                              for b in range(config.l3_banks)]
         self.dirs: List[BaseDirectory] = []
         self.dir_occupancy = None
         if policy.uses_directory:
@@ -153,8 +159,16 @@ class MemorySystem:
         self.dram.reset_contention()
 
     # -- directory helpers -------------------------------------------------------
+    def _bank(self, line: int) -> int:
+        """Memoized :meth:`AddressMap.bank_of_line` (pure address math)."""
+        memo = self._bank_memo
+        bank = memo.get(line)
+        if bank is None:
+            bank = memo[line] = self.map.bank_of_line(line)
+        return bank
+
     def directory_of(self, line: int) -> BaseDirectory:
-        return self.dirs[self.map.bank_of_line(line)]
+        return self.dirs[self._bank(line)]
 
     def total_directory_entries(self) -> int:
         return sum(len(d) for d in self.dirs)
@@ -171,7 +185,7 @@ class MemorySystem:
             mask = victim.dirty_mask & victim.valid_mask
             if victim.data is not None:
                 self.backing.write_line(victim.line, victim.data, mask)
-            self.dram.access(self.map.channel_of_bank(bank), now)
+            self.dram.access(self._chan_of_bank[bank], now)
 
     def _l3_access(self, bank: int, line: int, now: float,
                    write_mask: int = 0,
@@ -183,12 +197,35 @@ class MemorySystem:
         is absent; merges ``write_mask``/``write_values`` into the line.
         Returns the completion time and the resident L3 entry.
         """
-        t = self.bank_ports.acquire(bank, now, 1.0) + self.l3_latency
+        # Every miss in the machine funnels through here: the bank-port
+        # reservation is a hand-inlined Resource.acquire (occupancy is
+        # always exactly one cycle), and the tag probe is fused with
+        # lookup()'s counter/LRU bookkeeping.
+        port = self.bank_ports.members[bank]
+        port.acquisitions += 1
+        port.total_busy += 1.0
+        used = port._used
+        bucket = int(now * _INV_BUCKET)
+        filled = used.get(bucket, 0.0)
+        while filled + 1.0 > BUCKET_CYCLES:
+            bucket += 1
+            filled = used.get(bucket, 0.0)
+        used[bucket] = filled + 1.0
+        t = bucket * BUCKET_CYCLES
+        if now > t:
+            t = now
+        t += self.l3_latency
         cache = self.l3[bank]
-        entry = cache.lookup(line)
+        entry = cache.sets[line % cache.n_sets].get(line)
+        if entry is not None:
+            cache._tick += 1
+            entry.lru = cache._tick
+            cache.hits += 1
+        else:
+            cache.misses += 1
         if entry is None:
             if need_data:
-                t = self.dram.access(self.map.channel_of_bank(bank), t)
+                t = self.dram.access(self._chan_of_bank[bank], t)
                 entry, victim = cache.allocate(line, FULL_WORD_MASK)
                 if victim is not None:
                     self._l3_victim(bank, victim, t)
@@ -201,7 +238,7 @@ class MemorySystem:
         elif need_data and not entry.fully_valid:
             # Partially valid line (accumulated SWcc writebacks): merge the
             # missing words from memory before serving a full-line read.
-            t = self.dram.access(self.map.channel_of_bank(bank), t)
+            t = self.dram.access(self._chan_of_bank[bank], t)
             if entry.data is not None:
                 mem = self.backing.read_line(line)
                 for word in range(len(mem)):
@@ -248,18 +285,18 @@ class MemorySystem:
         """
         done = now
         counters = self.counters
-        ports = self.bank_ports
+        port = self.bank_ports.members[bank]
         for cluster_id in targets:
             # The directory serialises probe issue and ack processing at
             # its (single-ported) bank; under eviction storms this is a
             # real queueing point.
-            issue = ports.acquire(bank, now, 1.0)
+            issue = port.acquire(now, 1.0)
             arrive = self.net.to_cluster(cluster_id, issue)
             present, dirty_mask, values, svc_done = \
                 self.clusters[cluster_id].probe_invalidate(line, arrive)
             counters.probe_response += 1
             resp = self.net.to_l3(cluster_id, svc_done)
-            resp = ports.acquire(bank, resp, 1.0)
+            resp = port.acquire(resp, 1.0)
             if present and dirty_mask:
                 resp, _ = self._l3_access(bank, line, resp,
                                           write_mask=dirty_mask,
@@ -296,7 +333,7 @@ class MemorySystem:
             self.counters.read_request += 1
             if self.profiler is not None:
                 self.profiler.note(line, self.profiler.READ, cluster_id)
-        bank = self.map.bank_of_line(line)
+        bank = self._bank(line)
         t = self.net.to_l3(cluster_id, now)
         swcc, t = self._resolve_domain(line, bank, t)
         if swcc:
@@ -338,7 +375,7 @@ class MemorySystem:
         self.counters.write_request += 1
         if self.profiler is not None:
             self.profiler.note(line, self.profiler.WRITE, cluster_id)
-        bank = self.map.bank_of_line(line)
+        bank = self._bank(line)
         t = self.net.to_l3(cluster_id, now)
         swcc, t = self._resolve_domain(line, bank, t)
         if swcc:
@@ -366,7 +403,7 @@ class MemorySystem:
         self.counters.write_request += 1
         if self.profiler is not None:
             self.profiler.note(line, self.profiler.WRITE, cluster_id)
-        bank = self.map.bank_of_line(line)
+        bank = self._bank(line)
         t = self.net.to_l3(cluster_id, now)
         directory = self.dirs[bank]
         entry = directory.get(line)
@@ -401,7 +438,7 @@ class MemorySystem:
             self.counters.cache_eviction += 1
         else:
             raise ProtocolError(f"writeback cannot carry {message}")
-        bank = self.map.bank_of_line(line)
+        bank = self._bank(line)
         t = self.net.to_l3(cluster_id, now)
         t, _ = self._l3_access(bank, line, t, write_mask=dirty_mask,
                                write_values=values, need_data=False)
@@ -426,7 +463,7 @@ class MemorySystem:
         sharer count drops to zero.
         """
         self.counters.read_release += 1
-        bank = self.map.bank_of_line(line)
+        bank = self._bank(line)
         t = self.net.to_l3(cluster_id, now)
         t = self.bank_ports.acquire(bank, t, 0.5)
         directory = self.dirs[bank]
@@ -448,7 +485,7 @@ class MemorySystem:
         line = line_of(addr)
         if self.profiler is not None:
             self.profiler.note(line, self.profiler.ATOMIC, cluster_id)
-        bank = self.map.bank_of_line(line)
+        bank = self._bank(line)
         t = self.net.to_l3(cluster_id, now)
         if self.policy.uses_directory:
             directory = self.dirs[bank]
@@ -479,7 +516,7 @@ class MemorySystem:
         transition before acknowledging the issuing core.
         """
         self.counters.uncached_atomic += 1
-        bank = self.map.bank_of_line(line)
+        bank = self._bank(line)
         table_line = line_of(self.fine.table_word_addr(line))
         t = self.net.to_l3(cluster_id, now)
         t, entry = self._l3_access(bank, table_line, t)

@@ -18,7 +18,7 @@ come from serialising at the home directory bank, never from the network.
 from __future__ import annotations
 
 from repro.config import MachineConfig
-from repro.timing import Resource, ResourceGroup
+from repro.timing import BUCKET_CYCLES, _INV_BUCKET, Resource, ResourceGroup
 
 #: The crossbar switches many messages per cycle across its ports.
 _XBAR_OCCUPANCY = 1.0 / 16.0
@@ -49,19 +49,75 @@ class Network:
     def tree_of(self, cluster: int) -> int:
         return cluster // self.clusters_per_tree
 
+    # ``to_l3``/``to_cluster`` carry a hand-inlined copy of
+    # :meth:`Resource.acquire` for each of the two reservations every
+    # network message pays. Link and crossbar occupancies are fixed
+    # fractions of a cycle, so the wide-request spill branch of the
+    # general ``acquire`` can never trigger; counters are maintained
+    # exactly as ``acquire`` would.
     def to_l3(self, cluster: int, now: float) -> float:
         """Time a message sent by ``cluster`` at ``now`` reaches its L3 bank."""
         self.messages += 1
-        start = self.up_links.acquire(self.tree_of(cluster), now, self.tree_occupancy)
-        start = self.crossbar.acquire(start, _XBAR_OCCUPANCY)
-        return start + self.one_way_latency
+        occ = self.tree_occupancy
+        link = self.up_links.members[cluster // self.clusters_per_tree]
+        link.acquisitions += 1
+        link.total_busy += occ
+        used = link._used
+        bucket = int(now * _INV_BUCKET)
+        filled = used.get(bucket, 0.0)
+        while filled + occ > BUCKET_CYCLES:
+            bucket += 1
+            filled = used.get(bucket, 0.0)
+        used[bucket] = filled + occ
+        start = bucket * BUCKET_CYCLES
+        if now > start:
+            start = now
+        xbar = self.crossbar
+        xbar.acquisitions += 1
+        xbar.total_busy += _XBAR_OCCUPANCY
+        used = xbar._used
+        bucket = int(start * _INV_BUCKET)
+        filled = used.get(bucket, 0.0)
+        while filled + _XBAR_OCCUPANCY > BUCKET_CYCLES:
+            bucket += 1
+            filled = used.get(bucket, 0.0)
+        used[bucket] = filled + _XBAR_OCCUPANCY
+        begin = bucket * BUCKET_CYCLES
+        if start > begin:
+            begin = start
+        return begin + self.one_way_latency
 
     def to_cluster(self, cluster: int, now: float) -> float:
         """Time a reply/probe sent at ``now`` arrives at ``cluster``."""
         self.messages += 1
-        start = self.crossbar.acquire(now, _XBAR_OCCUPANCY)
-        start = self.down_links.acquire(self.tree_of(cluster), start, self.tree_occupancy)
-        return start + self.one_way_latency
+        xbar = self.crossbar
+        xbar.acquisitions += 1
+        xbar.total_busy += _XBAR_OCCUPANCY
+        used = xbar._used
+        bucket = int(now * _INV_BUCKET)
+        filled = used.get(bucket, 0.0)
+        while filled + _XBAR_OCCUPANCY > BUCKET_CYCLES:
+            bucket += 1
+            filled = used.get(bucket, 0.0)
+        used[bucket] = filled + _XBAR_OCCUPANCY
+        start = bucket * BUCKET_CYCLES
+        if now > start:
+            start = now
+        occ = self.tree_occupancy
+        link = self.down_links.members[cluster // self.clusters_per_tree]
+        link.acquisitions += 1
+        link.total_busy += occ
+        used = link._used
+        bucket = int(start * _INV_BUCKET)
+        filled = used.get(bucket, 0.0)
+        while filled + occ > BUCKET_CYCLES:
+            bucket += 1
+            filled = used.get(bucket, 0.0)
+        used[bucket] = filled + occ
+        begin = bucket * BUCKET_CYCLES
+        if start > begin:
+            begin = start
+        return begin + self.one_way_latency
 
     def round_trip(self, cluster: int, now: float, service: float = 0.0) -> float:
         """Convenience: request down, ``service`` cycles, reply back up."""

@@ -111,6 +111,31 @@ class Cache:
         """Lookup without touching LRU state or hit/miss counters."""
         return self.sets[line % self.n_sets].get(line)
 
+    def touch(self, entry: CacheLine) -> None:
+        """Count a hit on ``entry`` and refresh its LRU age.
+
+        Fast-path companion to :meth:`peek`: callers that located the
+        entry themselves (e.g. the executor's inlined L1-hit path) call
+        this to leave exactly the state :meth:`lookup` would have left.
+        """
+        self._tick += 1
+        entry.lru = self._tick
+        self.hits += 1
+
+    def discard(self, line: int) -> None:
+        """Remove ``line`` if present, without returning it.
+
+        Equivalent to :meth:`remove` for callers that ignore the entry;
+        kept separate so the store-path sibling-invalidation loop pays
+        one dict hit for the (common) absent case.
+        """
+        index = line % self.n_sets
+        bucket = self.sets[index]
+        if line in bucket:
+            del bucket[line]
+            if not bucket:
+                self._occupied.pop(index, None)
+
     # -- allocation ----------------------------------------------------------
     def allocate(self, line: int, valid_mask: int = FULL_WORD_MASK,
                  dirty_mask: int = 0, incoherent: bool = False
@@ -132,7 +157,16 @@ class Cache:
             return existing, None
         victim = None
         if len(bucket) >= self.assoc:
-            victim_line = min(bucket, key=lambda ln: bucket[ln].lru)
+            # Manual LRU scan: this is the allocation hot path, and a
+            # min(key=lambda...) here costs one closure call per
+            # resident line per miss.
+            victim_line = -1
+            best = None
+            for ln, resident in bucket.items():
+                lru = resident.lru
+                if best is None or lru < best:
+                    best = lru
+                    victim_line = ln
             victim = bucket.pop(victim_line)
             self.evictions += 1
         data = [0] * WORDS_PER_LINE if self.track_data else None
@@ -142,6 +176,49 @@ class Cache:
         bucket[line] = entry
         self._occupied[line % self.n_sets] = None
         return entry, victim
+
+    def fill(self, line: int, valid_mask: int = FULL_WORD_MASK) -> CacheLine:
+        """Insert ``line`` when the caller discards the victim (L1 fills).
+
+        Behaviourally :meth:`allocate` with the victim dropped on the
+        floor, but the evicted :class:`CacheLine` object is *recycled*
+        as the new entry -- the tiny L1s evict on almost every fill, so
+        this removes one object construction from the hot path. On
+        data-tracking caches the recycled line's words are zeroed, so
+        the entry is indistinguishable from a freshly constructed one
+        (snapshots would otherwise see stale invalid words).
+        """
+        bucket = self.sets[line % self.n_sets]
+        existing = bucket.get(line)
+        self._tick += 1
+        if existing is not None:
+            existing.valid_mask |= valid_mask
+            existing.incoherent = False  # as allocate() with the default
+            existing.lru = self._tick
+            return existing
+        if len(bucket) >= self.assoc:
+            victim_line = -1
+            best = None
+            for ln, resident in bucket.items():
+                lru = resident.lru
+                if best is None or lru < best:
+                    best = lru
+                    victim_line = ln
+            entry = bucket.pop(victim_line)
+            self.evictions += 1
+            entry.line = line
+            entry.valid_mask = valid_mask
+            entry.dirty_mask = 0
+            entry.incoherent = False
+            if entry.data is not None:
+                entry.data[:] = (0,) * WORDS_PER_LINE
+        else:
+            data = [0] * WORDS_PER_LINE if self.track_data else None
+            entry = CacheLine(line, valid_mask, 0, False, data)
+        entry.lru = self._tick
+        bucket[line] = entry
+        self._occupied[line % self.n_sets] = None
+        return entry
 
     # -- removal -------------------------------------------------------------
     def remove(self, line: int) -> Optional[CacheLine]:

@@ -38,7 +38,7 @@ class DramModel:
         transfers, plus the fixed access latency, plus transfer time.
         """
         occupancy = self.occupancy_per_line * lines
-        start = self.channels.acquire(channel, now, occupancy)
+        start = self.channels.members[channel].acquire(now, occupancy)
         self.accesses[channel] += 1
         return start + self.latency + occupancy
 

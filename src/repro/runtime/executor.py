@@ -24,7 +24,8 @@ import heapq
 from typing import List, Set
 
 from repro.errors import SimulationError
-from repro.mem.address import LINE_BYTES, LINE_SHIFT
+from repro.mem.address import (LINE_BYTES, LINE_SHIFT, WORD_SHIFT,
+                               WORDS_PER_LINE)
 from repro.runtime.program import Phase, Program
 from repro.sim.stats import RunStats, collect_stats
 from repro.types import (OP_ATOMIC, OP_BARRIER, OP_COMPUTE, OP_IFETCH,
@@ -75,6 +76,9 @@ class BspExecutor:
         self._barrier_addr = runtime.barrier_addr
         self._desc_base = runtime.desc_base
         self._desc_capacity = runtime.desc_capacity
+        # One ifetch-op prefix per distinct (code_addr, code_lines):
+        # every task of a phase shares it, so build it once.
+        self._code_prefix: dict = {}
 
     # -- public -----------------------------------------------------------
     def run(self) -> RunStats:
@@ -95,16 +99,23 @@ class BspExecutor:
         n_cores = machine.config.n_cores
         per_cluster = machine.config.cores_per_cluster
         tasks = phase.tasks
+        n_tasks = len(tasks)
         head = 0
         states = [_CoreState() for _ in range(n_cores)]
         heap = [(machine.core_clocks[core], core) for core in range(n_cores)]
         heapq.heapify(heap)
         arrivals: List[float] = []
+        # Local bindings for the scheduler loop: these globals/attributes
+        # are touched once per slice of every core.
+        heappop = heapq.heappop
+        heappush = heapq.heappush
+        clusters = machine.clusters
+        execute_slice = self._execute_slice
 
         while heap:
-            now, core = heapq.heappop(heap)
+            now, core = heappop(heap)
             state = states[core]
-            cluster = machine.clusters[core // per_cluster]
+            cluster = clusters[core // per_cluster]
             local = core % per_cluster
 
             if state.ip >= len(state.ops):
@@ -112,7 +123,7 @@ class BspExecutor:
                     state.stage = _STAGE_WAITING
                     arrivals.append(now)
                     continue
-                if head < len(tasks):
+                if head < n_tasks:
                     task = tasks[head]
                     now = self._dequeue(cluster, local, core, head, now)
                     head += 1
@@ -124,11 +135,11 @@ class BspExecutor:
                     state.ops = self._barrier_ops(state)
                     state.ip = 0
                     state.stage = _STAGE_DRAIN
-                heapq.heappush(heap, (now, core))
+                heappush(heap, (now, core))
                 continue
 
-            now = self._execute_slice(cluster, local, core, state, now)
-            heapq.heappush(heap, (now, core))
+            now = execute_slice(cluster, local, core, state, now)
+            heappush(heap, (now, core))
 
         if len(arrivals) != n_cores:
             raise SimulationError(
@@ -154,9 +165,13 @@ class BspExecutor:
         """Assemble the full op stream for one task on one core."""
         machine = self.machine
         layout = machine.layout
-        ops: List[tuple] = []
-        for i in range(phase.code_lines):
-            ops.append((OP_IFETCH, phase.code_addr + LINE_BYTES * i))
+        key = (phase.code_addr, phase.code_lines)
+        prefix = self._code_prefix.get(key)
+        if prefix is None:
+            prefix = [(OP_IFETCH, phase.code_addr + LINE_BYTES * i)
+                      for i in range(phase.code_lines)]
+            self._code_prefix[key] = prefix
+        ops: List[tuple] = list(prefix)
         if task.stack_words:
             base, size = layout.stack_region(core)
             state = self._stack_cursors
@@ -182,28 +197,90 @@ class BspExecutor:
     # -- op dispatch -----------------------------------------------------------
     def _execute_slice(self, cluster, local: int, core: int,
                        state: _CoreState, now: float) -> float:
+        """Execute up to ``ops_per_slice`` ops of one core's stream.
+
+        This is the simulator's innermost loop, so the dominant op kinds
+        (loads, ifetches) carry inlined L1-hit fast paths: the entry is
+        located with one dict probe and, on a hit, the LRU/counter
+        update (:meth:`Cache.touch`) plus the fixed one-cycle L1 cost
+        are applied without entering the cluster's miss machinery.
+        Consecutive loads that hit the *same* L1 line are consumed in a
+        nested batch loop with no per-op dispatch at all. Both paths
+        leave state and timing bit-identical to calling
+        :meth:`Cluster.load`/:meth:`Cluster.ifetch` per op (see
+        docs/performance.md for the invariants that keep this true).
+        """
         ops = state.ops
         ip = state.ip
+        start_ip = ip
         end = min(len(ops), ip + self.ops_per_slice)
-        executed = 0
+        check_loads = self._check_loads
+        mismatches = self.load_mismatches
+        l1 = cluster.l1d[local]
+        l1_sets = l1.sets
+        l1_nsets = l1.n_sets
+        l1i = cluster.l1i[local]
+        word_mask = WORDS_PER_LINE - 1
         while ip < end:
             op = ops[ip]
             kind = op[0]
             if kind == OP_LOAD:
-                now, value = cluster.load(local, op[1], now)
-                if len(op) > 2 and self._check_loads and value != op[2]:
-                    if len(self.load_mismatches) < 100:
-                        self.load_mismatches.append((op[1], op[2], value))
+                addr = op[1]
+                line = addr >> LINE_SHIFT
+                e1 = l1_sets[line % l1_nsets].get(line)
+                if e1 is not None and \
+                        (e1.valid_mask >> ((addr >> WORD_SHIFT) & word_mask)) & 1:
+                    # Batched same-line hit run. The LRU tick and hit
+                    # counter are applied once for the whole run: n
+                    # consecutive touches of one entry leave exactly
+                    # tick+n with the entry's age at the final tick, and
+                    # no other access can observe the intermediate ticks.
+                    run = 0
+                    while True:
+                        run += 1
+                        now += 1
+                        if check_loads and len(op) > 2:
+                            word = (addr >> WORD_SHIFT) & word_mask
+                            value = e1.data[word] if e1.data is not None else 0
+                            if value != op[2] and len(mismatches) < 100:
+                                mismatches.append((addr, op[2], value))
+                        ip += 1
+                        if ip >= end:
+                            break
+                        op = ops[ip]
+                        if op[0] != OP_LOAD:
+                            break
+                        addr = op[1]
+                        if (addr >> LINE_SHIFT) != line or not \
+                                ((e1.valid_mask >> ((addr >> WORD_SHIFT)
+                                                    & word_mask)) & 1):
+                            break
+                    tick = l1._tick + run
+                    l1._tick = tick
+                    e1.lru = tick
+                    l1.hits += run
+                    continue
+                now, value = cluster.load(local, addr, now)
+                if len(op) > 2 and check_loads and value != op[2]:
+                    if len(mismatches) < 100:
+                        mismatches.append((addr, op[2], value))
             elif kind == OP_STORE:
                 value = op[2] if len(op) > 2 else 0
                 now = cluster.store(local, op[1], value, now)
             elif kind == OP_COMPUTE:
                 now += op[1]
+            elif kind == OP_IFETCH:
+                addr = op[1]
+                line = addr >> LINE_SHIFT
+                e1 = l1i.sets[line % l1i.n_sets].get(line)
+                if e1 is not None:
+                    l1i.touch(e1)
+                    now += 1
+                else:
+                    now = cluster.ifetch(local, addr, now)
             elif kind == OP_ATOMIC:
                 operand = op[2] if len(op) > 2 else 1
                 now, _v = cluster.atomic(local, op[1], _add, operand, now)
-            elif kind == OP_IFETCH:
-                now = cluster.ifetch(local, op[1], now)
             elif kind == OP_WB:
                 now = cluster.flush_line(local, op[1] >> LINE_SHIFT, now)
             elif kind == OP_INV:
@@ -214,9 +291,8 @@ class BspExecutor:
             else:
                 raise SimulationError(f"unknown op kind {kind}")
             ip += 1
-            executed += 1
         state.ip = ip
-        self.ops_executed += executed
+        self.ops_executed += ip - start_ip
         self.machine.core_clocks[core] = now
         return now
 

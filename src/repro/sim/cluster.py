@@ -35,7 +35,7 @@ from repro.errors import ProtocolError
 from repro.mem.address import (FULL_WORD_MASK, LINE_SHIFT, WORD_SHIFT,
                                WORDS_PER_LINE)
 from repro.mem.cache import Cache, CacheLine
-from repro.timing import Resource
+from repro.timing import BUCKET_CYCLES, _INV_BUCKET, Resource
 from repro.types import MessageType, PolicyKind
 
 
@@ -100,18 +100,19 @@ class Cluster:
 
     def _drop_l1(self, line: int) -> None:
         for cache in self.l1d:
-            cache.remove(line)
+            cache.discard(line)
         for cache in self.l1i:
-            cache.remove(line)
+            cache.discard(line)
 
     def _fill_l1(self, l1: Cache, entry: CacheLine) -> None:
         """Install an L2 line's current contents into a core's L1.
 
         Only the L2 entry's *valid* words are validated in the L1: a
         partially valid SWcc line (write-allocated words only) must not
-        produce L1 hits on words that were never fetched.
+        produce L1 hits on words that were never fetched. L1 victims
+        are silent, so the recycling :meth:`Cache.fill` is used.
         """
-        copy, _victim = l1.allocate(entry.line, entry.valid_mask)  # L1 victims silent
+        copy = l1.fill(entry.line, entry.valid_mask)
         if copy.data is not None and entry.data is not None:
             copy.data[:] = entry.data
 
@@ -169,12 +170,44 @@ class Cluster:
         word = (addr >> WORD_SHIFT) & (WORDS_PER_LINE - 1)
         bit = 1 << word
         l1 = self.l1d[core]
-        e1 = l1.lookup(line)
-        if e1 is not None and e1.valid_mask & bit:
-            value = e1.data[word] if e1.data is not None else 0
-            return now + 1, value
-        t = self._l2_start(now)
-        entry = self.l2.lookup(line)
+        # L1-hit fast path: inlined Cache.lookup (same counters, same
+        # LRU touch) so the per-op interpreter's dominant case pays one
+        # dict probe and no further calls.
+        e1 = l1.sets[line % l1.n_sets].get(line)
+        if e1 is not None:
+            l1.touch(e1)
+            if e1.valid_mask & bit:
+                value = e1.data[word] if e1.data is not None else 0
+                return now + 1, value
+        else:
+            l1.misses += 1
+        # Fused _l2_start + Cache.lookup: one bus/port reservation and
+        # one tag probe, with the same counters lookup() maintains. The
+        # port reservation is a hand-inlined Resource.acquire (the port
+        # occupancy is always a sub-bucket fraction of a cycle).
+        port = self.port
+        occ = self.port_occ
+        port.acquisitions += 1
+        port.total_busy += occ
+        used = port._used
+        bucket = int(now * _INV_BUCKET)
+        filled = used.get(bucket, 0.0)
+        while filled + occ > BUCKET_CYCLES:
+            bucket += 1
+            filled = used.get(bucket, 0.0)
+        used[bucket] = filled + occ
+        t = bucket * BUCKET_CYCLES
+        if now > t:
+            t = now
+        t += self.bus_latency + self.l2_latency
+        l2 = self.l2
+        entry = l2.sets[line % l2.n_sets].get(line)
+        if entry is not None:
+            l2._tick += 1
+            entry.lru = l2._tick
+            l2.hits += 1
+        else:
+            l2.misses += 1
         if entry is not None and entry.valid_mask & bit:
             self._fill_l1(l1, entry)
             value = entry.data[word] if entry.data is not None else 0
@@ -191,17 +224,50 @@ class Cluster:
         """Store one word; returns the finish time at the core."""
         line = addr >> LINE_SHIFT
         word = (addr >> WORD_SHIFT) & (WORDS_PER_LINE - 1)
-        l1 = self.l1d[core]
-        e1 = l1.peek(line)
+        l1d = self.l1d
+        l1 = l1d[core]
+        index = line % l1.n_sets
+        e1 = l1.sets[index].get(line)
         if e1 is not None and e1.data is not None:
             e1.data[word] = value  # write-through keeps the L1 copy fresh
         # Sibling cores' L1 copies go stale: the cluster bus invalidates
         # them (write-through L1s snoop the shared L2's write lane).
+        # Inlined Cache.discard: every store scans all siblings, and the
+        # line is almost always absent, so the membership probe is the
+        # whole cost. All per-core L1Ds share one geometry, so ``index``
+        # is computed once.
         for sibling in range(self.n_cores):
             if sibling != core:
-                self.l1d[sibling].remove(line)
-        t = self._l2_start(now)
-        entry = self.l2.lookup(line)
+                cache = l1d[sibling]
+                bucket = cache.sets[index]
+                if line in bucket:
+                    del bucket[line]
+                    if not bucket:
+                        cache._occupied.pop(index, None)
+        # Fused _l2_start + Cache.lookup, as in load().
+        port = self.port
+        occ = self.port_occ
+        port.acquisitions += 1
+        port.total_busy += occ
+        used = port._used
+        bucket = int(now * _INV_BUCKET)
+        filled = used.get(bucket, 0.0)
+        while filled + occ > BUCKET_CYCLES:
+            bucket += 1
+            filled = used.get(bucket, 0.0)
+        used[bucket] = filled + occ
+        t = bucket * BUCKET_CYCLES
+        if now > t:
+            t = now
+        t += self.bus_latency + self.l2_latency
+        l2 = self.l2
+        entry = l2.sets[line % l2.n_sets].get(line)
+        if entry is not None:
+            l2._tick += 1
+            entry.lru = l2._tick
+            l2.hits += 1
+        else:
+            l2.misses += 1
         if entry is not None:
             if entry.incoherent or entry.dirty_mask:
                 # SWcc line, or an already-modified (M) coherent line.
@@ -238,15 +304,20 @@ class Cluster:
         """Instruction fetch through the core's L1I."""
         line = addr >> LINE_SHIFT
         l1 = self.l1i[core]
-        if l1.lookup(line) is not None:
+        # Inlined lookup, as in :meth:`load`: the same code line is
+        # fetched by every op of a task, so this hit path dominates.
+        e1 = l1.sets[line % l1.n_sets].get(line)
+        if e1 is not None:
+            l1.touch(e1)
             return now + 1
+        l1.misses += 1
         t = self._l2_start(now)
         entry = self.l2.lookup(line)
         if entry is None:
             reply = self.memsys.read_line(self.id, line, t, instruction=True)
             entry = self._install(line, reply)
             t = reply.time
-        l1.allocate(line, FULL_WORD_MASK)
+        l1.fill(line, FULL_WORD_MASK)
         return t
 
     def atomic(self, core: int, addr: int, func, operand: int,

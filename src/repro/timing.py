@@ -23,6 +23,11 @@ from typing import Dict
 #: queueing within a phase, large enough that the bucket dict stays small.
 BUCKET_CYCLES = 32.0
 
+#: Exact reciprocal (power of two), so ``t * _INV_BUCKET`` is
+#: bit-identical to ``t / BUCKET_CYCLES`` but avoids the division in the
+#: per-access hot path.
+_INV_BUCKET = 1.0 / BUCKET_CYCLES
+
 
 class Resource:
     """A single server with bucketed service capacity.
@@ -47,7 +52,7 @@ class Resource:
             return now
         self.total_busy += occupancy
         used = self._used
-        bucket = int(now / BUCKET_CYCLES)
+        bucket = int(now * _INV_BUCKET)
         # Service starts in the first bucket that can take the request
         # whole, or -- for occupancies wider than one bucket -- in the
         # first bucket with any free capacity, spilling the remainder

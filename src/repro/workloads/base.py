@@ -94,15 +94,18 @@ class TaskSketch:
         wl = self.wl
         track = wl.track and check
         shadow = wl.shadow
+        intern = wl._op_intern
+        ops = self.ops
         sw = wl.sw_managed(buf) and buf.inv_reads
         for line in lines:
             base = line_base(line)
             for w in range(words_per_line):
                 addr = base + WORD_BYTES * w
                 if track and addr in shadow:
-                    self.ops.append((OP_LOAD, addr, shadow[addr]))
+                    op = (OP_LOAD, addr, shadow[addr])
                 else:
-                    self.ops.append((OP_LOAD, addr))
+                    op = (OP_LOAD, addr)
+                ops.append(intern.setdefault(op, op))
             if sw:
                 self.inputs.add(line)
 
@@ -112,13 +115,15 @@ class TaskSketch:
         wl = self.wl
         track = wl.track and check
         shadow = wl.shadow
+        intern = wl._op_intern
         sw = wl.sw_managed(buf) and buf.inv_reads
         for index in word_indices:
             addr = buf.word_addr(index)
             if track and addr in shadow:
-                self.ops.append((OP_LOAD, addr, shadow[addr]))
+                op = (OP_LOAD, addr, shadow[addr])
             else:
-                self.ops.append((OP_LOAD, addr))
+                op = (OP_LOAD, addr)
+            self.ops.append(intern.setdefault(op, op))
             if sw:
                 self.inputs.add(line_of(addr))
 
@@ -153,18 +158,21 @@ class TaskSketch:
 
     def _store(self, addr: int, value_fn: Optional[Callable[[int], int]]) -> None:
         wl = self.wl
+        intern = wl._op_intern
         if wl.track:
             value = (value_fn(addr) if value_fn else wl.synth_value(addr)) & _VALUE_MASK
             wl.shadow[addr] = value
             wl.expected[addr] = value
-            self.ops.append((OP_STORE, addr, value))
+            op = (OP_STORE, addr, value)
         else:
-            self.ops.append((OP_STORE, addr))
+            op = (OP_STORE, addr)
+        self.ops.append(intern.setdefault(op, op))
 
     # -- other ops ----------------------------------------------------------------
     def atomic(self, addr: int, operand: int = 1) -> None:
         wl = self.wl
-        self.ops.append((OP_ATOMIC, addr, operand))
+        op = (OP_ATOMIC, addr, operand)
+        self.ops.append(wl._op_intern.setdefault(op, op))
         if wl.track:
             new = (wl.shadow.get(addr, 0) + operand) & _VALUE_MASK
             wl.shadow[addr] = new
@@ -172,7 +180,8 @@ class TaskSketch:
 
     def compute(self, cycles: int) -> None:
         if cycles > 0:
-            self.ops.append((OP_COMPUTE, cycles))
+            op = (OP_COMPUTE, cycles)
+            self.ops.append(self.wl._op_intern.setdefault(op, op))
 
     def done(self, stack_words: int = 8) -> Task:
         return Task(ops=self.ops, flush_lines=sorted(self.flushes),
@@ -201,6 +210,12 @@ class Workload(abc.ABC):
         self.shadow: Dict[int, int] = {}
         self.expected: Dict[int, int] = {}
         self._phase_salt = 0
+        # Op-tuple intern table: workloads re-read the same shared lines
+        # from thousands of tasks, so identical (kind, addr[, value])
+        # tuples recur constantly. Sharing one tuple per distinct op
+        # keeps large op streams resident-cache-friendly and cuts the
+        # build-time allocation churn.
+        self._op_intern: Dict[tuple, tuple] = {}
 
     # -- entry point ------------------------------------------------------------
     def build(self, machine) -> Program:
@@ -210,6 +225,7 @@ class Workload(abc.ABC):
         self.rng = random.Random(self.seed)
         self.shadow = {}
         self.expected = {}
+        self._op_intern = {}
         self.code_addr = machine.layout.code_base
         program = self._build()
         program.expected = self.expected

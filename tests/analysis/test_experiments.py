@@ -92,6 +92,20 @@ class TestExperimentConfig:
         monkeypatch.setenv("REPRO_FULL", "1")
         assert ExperimentConfig.from_env().n_clusters == 128
 
+    @pytest.mark.parametrize("variable,value", [
+        ("REPRO_CLUSTERS", "four"), ("REPRO_CLUSTERS", "0"),
+        ("REPRO_CLUSTERS", "-2"), ("REPRO_CLUSTERS", "2.5"),
+        ("REPRO_SCALE", "big"), ("REPRO_SCALE", "0"),
+        ("REPRO_SCALE", "-1.5"), ("REPRO_FULL", "yes"),
+    ])
+    def test_from_env_bad_values_name_the_variable(self, monkeypatch,
+                                                   variable, value):
+        from repro.errors import SimulationError
+
+        monkeypatch.setenv(variable, value)
+        with pytest.raises(SimulationError, match=variable):
+            ExperimentConfig.from_env()
+
     def test_machine_config_overrides(self):
         exp = ExperimentConfig(n_clusters=2)
         config = exp.machine_config(l2_bytes=8 * 1024)

@@ -1,0 +1,138 @@
+"""Parallel sweeps are bit-identical to serial ones, and fail loudly."""
+
+import pytest
+
+from repro.analysis.experiments import (ExperimentConfig,
+                                        run_directory_occupancy,
+                                        run_directory_sweep,
+                                        run_message_breakdown,
+                                        run_performance,
+                                        run_stack_only_ablation,
+                                        run_useful_coherence_ops)
+from repro.analysis.parallel import (Cell, CellSweep, parse_jobs,
+                                     resolve_jobs, run_cells,
+                                     stderr_progress)
+from repro.errors import SimulationError
+
+TINY = ExperimentConfig(n_clusters=2, scale=0.12)
+KERNELS = ("gjk", "mri")
+
+DRIVERS = [
+    pytest.param(lambda jobs: run_message_breakdown(
+        KERNELS, exp=TINY, jobs=jobs), id="message_breakdown"),
+    pytest.param(lambda jobs: run_useful_coherence_ops(
+        KERNELS, (8 * 1024, 16 * 1024), exp=TINY, jobs=jobs),
+        id="useful_coherence_ops"),
+    pytest.param(lambda jobs: run_directory_sweep(
+        KERNELS, (256, 1024), exp=TINY, jobs=jobs), id="directory_sweep"),
+    pytest.param(lambda jobs: run_directory_occupancy(
+        KERNELS, exp=TINY, jobs=jobs), id="directory_occupancy"),
+    pytest.param(lambda jobs: run_performance(
+        KERNELS, exp=TINY, jobs=jobs), id="performance"),
+    pytest.param(lambda jobs: run_stack_only_ablation(
+        KERNELS, exp=TINY, jobs=jobs), id="stack_only_ablation"),
+]
+
+
+class TestDeterminism:
+    """Every driver gives identical results at jobs=1 and jobs=4.
+
+    Identity covers contents *and* iteration order of the result dicts
+    (the merge replay is append-ordered), so downstream table rendering
+    cannot observe how the cells were scheduled.
+    """
+
+    @pytest.mark.parametrize("driver", DRIVERS)
+    def test_parallel_matches_serial(self, driver):
+        serial = driver(1)
+        parallel = driver(4)
+        assert serial == parallel
+        assert _key_order(serial) == _key_order(parallel)
+
+
+def _key_order(tree):
+    if not isinstance(tree, dict):
+        return tree if not hasattr(tree, "cycles") else None
+    return [(key, _key_order(value)) for key, value in tree.items()]
+
+
+class TestJobResolution:
+    def test_explicit_wins(self):
+        assert resolve_jobs(3) == 3
+
+    def test_default_is_serial(self, monkeypatch):
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        assert resolve_jobs(None) == 1
+
+    def test_env_fallback(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "5")
+        assert resolve_jobs(None) == 5
+
+    def test_zero_means_cpu_count(self, monkeypatch):
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        assert resolve_jobs(0) >= 1
+
+    def test_negative_rejected(self):
+        with pytest.raises(SimulationError, match="jobs must be"):
+            resolve_jobs(-1)
+
+    @pytest.mark.parametrize("raw", ["", "x", "1.5", "-2"])
+    def test_bad_env_named_in_error(self, raw):
+        with pytest.raises(SimulationError, match="REPRO_JOBS"):
+            parse_jobs(raw)
+
+
+class TestWorkerFailure:
+    """A failing cell surfaces its original exception, serial or pooled."""
+
+    def test_serial_raises_original(self):
+        with pytest.raises(KeyError, match="no-such-kernel"):
+            run_cells([_bad_cell()], jobs=1)
+
+    def test_pool_raises_original(self):
+        good = Cell.make("gjk", _swcc(), TINY)
+        with pytest.raises(KeyError, match="no-such-kernel"):
+            run_cells([good, _bad_cell(), good], jobs=4)
+
+    def test_pool_names_failing_cell(self, capsys):
+        good = Cell.make("gjk", _swcc(), TINY)
+        with pytest.raises(KeyError):
+            run_cells([good, _bad_cell()], jobs=2)
+        assert "no-such-kernel" in capsys.readouterr().err
+
+
+def _bad_cell():
+    return Cell.make("no-such-kernel", _swcc(), TINY)
+
+
+def _swcc():
+    from repro.config import Policy
+    return Policy.swcc()
+
+
+class TestProgress:
+    def test_serial_progress_reports_each_cell(self):
+        seen = []
+        cells = [Cell.make("gjk", _swcc(), TINY, label=f"cell{i}")
+                 for i in range(2)]
+        run_cells(cells, jobs=1,
+                  progress=lambda done, total, label, elapsed:
+                  seen.append((done, total, label)))
+        assert seen == [(1, 2, "cell0"), (2, 2, "cell1")]
+
+    def test_stderr_progress_format(self, capsys):
+        stderr_progress("sweep")(3, 10, "kmeans/SWcc", 6.0)
+        err = capsys.readouterr().err
+        assert "sweep: cell 3/10 (kmeans/SWcc)" in err
+        assert "elapsed 6.0s" in err and "ETA 14.0s" in err
+
+
+class TestCellSweep:
+    def test_merge_replay_order(self):
+        sweep = CellSweep(jobs=4)
+        order = []
+        for i in range(4):
+            sweep.add(Cell.make("gjk", _swcc(), TINY, label=f"c{i}"),
+                      lambda stats, i=i: order.append(i))
+        sweep.run()
+        assert order == [0, 1, 2, 3]

@@ -1,0 +1,151 @@
+"""The repro bench harness, grading logic, and committed baseline."""
+
+import copy
+import json
+
+import pytest
+
+from repro.bench import (BENCH_SCHEMA, PINNED_MATRIX, BenchDocError,
+                         BenchSpec, check_doc, compare_runs,
+                         default_baseline_path, format_bench_table,
+                         format_compare_table, run_bench, select_specs,
+                         summary_markdown)
+from repro.errors import SimulationError
+
+TINY_SPEC = BenchSpec("gjk-swcc-tiny", "gjk", "swcc", 2, 0.12)
+
+
+@pytest.fixture(scope="module")
+def tiny_doc():
+    return run_bench([TINY_SPEC], reps=2)
+
+
+class TestHarness:
+    def test_document_shape(self, tiny_doc):
+        assert tiny_doc["schema"] == BENCH_SCHEMA
+        assert tiny_doc["reps"] == 2
+        cell = tiny_doc["cells"]["gjk-swcc-tiny"]
+        assert cell["workload"] == "gjk" and cell["policy"] == "swcc"
+        assert cell["wall_s"] > 0 and cell["cpu_s"] > 0
+        assert cell["ops"] > 0 and cell["tasks"] > 0 and cell["cycles"] > 0
+        assert cell["ops_per_sec"] > 0
+        assert cell["max_rss_kb"] > 0  # Linux/macOS both report RSS
+
+    def test_document_is_json_round_trippable(self, tiny_doc):
+        assert json.loads(json.dumps(tiny_doc)) == tiny_doc
+
+    def test_counters_are_deterministic(self, tiny_doc):
+        again = run_bench([TINY_SPEC], reps=1)
+        for field in ("cycles", "ops", "tasks"):
+            assert (again["cells"]["gjk-swcc-tiny"][field]
+                    == tiny_doc["cells"]["gjk-swcc-tiny"][field])
+
+    def test_rejects_empty_and_bad_reps(self):
+        with pytest.raises(SimulationError):
+            run_bench([])
+        with pytest.raises(SimulationError):
+            run_bench([TINY_SPEC], reps=0)
+
+    def test_select_specs(self):
+        assert select_specs(None) == list(PINNED_MATRIX)
+        chosen = select_specs("kmeans,gjk")
+        assert chosen and all("kmeans" in s.key or "gjk" in s.key
+                              for s in chosen)
+        with pytest.raises(SimulationError, match="no cells match"):
+            select_specs("zebra")
+
+
+class TestCompare:
+    def test_identical_runs_are_clean(self, tiny_doc):
+        result = compare_runs(tiny_doc, tiny_doc)
+        assert result.ok
+        assert "within" in result.summary_line()
+        assert "ok" in format_compare_table(result)
+
+    def test_slower_flagged(self, tiny_doc):
+        slow = copy.deepcopy(tiny_doc)
+        slow["cells"]["gjk-swcc-tiny"]["wall_s"] *= 2.0
+        result = compare_runs(tiny_doc, slow, threshold=0.25)
+        assert not result.ok
+        assert result.regressions == ["gjk-swcc-tiny"]
+        # ... but a generous threshold forgives the same run.
+        assert compare_runs(tiny_doc, slow, threshold=2.0).ok
+
+    def test_faster_is_never_a_regression(self, tiny_doc):
+        fast = copy.deepcopy(tiny_doc)
+        fast["cells"]["gjk-swcc-tiny"]["wall_s"] /= 10.0
+        assert compare_runs(tiny_doc, fast).ok
+
+    def test_counter_drift_flagged_regardless_of_timing(self, tiny_doc):
+        drifted = copy.deepcopy(tiny_doc)
+        drifted["cells"]["gjk-swcc-tiny"]["cycles"] += 1
+        result = compare_runs(tiny_doc, drifted, threshold=100.0)
+        assert not result.ok
+        assert result.drifted == ["gjk-swcc-tiny"]
+        assert "--update-baseline" in result.summary_line()
+
+    def test_disjoint_keys_rejected(self, tiny_doc):
+        other = copy.deepcopy(tiny_doc)
+        other["cells"] = {"different": other["cells"]["gjk-swcc-tiny"]}
+        with pytest.raises(BenchDocError, match="share no cell keys"):
+            compare_runs(tiny_doc, other)
+
+    def test_schema_mismatch_rejected(self, tiny_doc):
+        stale = copy.deepcopy(tiny_doc)
+        stale["schema"] = BENCH_SCHEMA + 1
+        with pytest.raises(BenchDocError, match="schema"):
+            compare_runs(stale, tiny_doc)
+
+    def test_malformed_docs_rejected(self):
+        with pytest.raises(BenchDocError):
+            check_doc([])
+        with pytest.raises(BenchDocError):
+            check_doc({"schema": BENCH_SCHEMA, "cells": {}})
+        with pytest.raises(BenchDocError):
+            check_doc({"schema": BENCH_SCHEMA, "cells": {"x": {}}})
+
+    def test_added_and_missing_cells_reported(self, tiny_doc):
+        grown = copy.deepcopy(tiny_doc)
+        grown["cells"]["new-cell"] = copy.deepcopy(
+            grown["cells"]["gjk-swcc-tiny"])
+        result = compare_runs(tiny_doc, grown)
+        assert result.added == ["new-cell"] and not result.missing
+        back = compare_runs(grown, tiny_doc)
+        assert back.missing == ["new-cell"] and not back.added
+
+
+class TestRendering:
+    def test_table_lists_every_cell(self, tiny_doc):
+        table = format_bench_table(tiny_doc)
+        assert "gjk-swcc-tiny" in table and "wall s" in table
+
+    def test_summary_markdown(self, tiny_doc):
+        text = summary_markdown(tiny_doc, compare_runs(tiny_doc, tiny_doc))
+        assert text.startswith("### repro bench")
+        assert "| `gjk-swcc-tiny` |" in text
+        assert "within" in text
+
+
+class TestCommittedBaseline:
+    """benchmarks/baseline.json stays valid and covers the pinned matrix."""
+
+    def test_baseline_parses_and_covers_matrix(self):
+        path = default_baseline_path()
+        assert path.is_file(), f"missing committed baseline at {path}"
+        cells = check_doc(json.loads(path.read_text()), "baseline")
+        assert set(cells) == {spec.key for spec in PINNED_MATRIX}
+
+    def test_baseline_cells_match_specs(self):
+        cells = json.loads(default_baseline_path().read_text())["cells"]
+        for spec in PINNED_MATRIX:
+            cell = cells[spec.key]
+            assert cell["workload"] == spec.workload
+            assert cell["policy"] == spec.policy
+            assert cell["n_clusters"] == spec.n_clusters
+            assert cell["scale"] == spec.scale
+            assert cell["track_data"] == spec.track_data
+
+    def test_matrix_includes_flagship_cell(self):
+        flagship = {(s.workload, s.policy, s.n_clusters, s.scale)
+                    for s in PINNED_MATRIX}
+        assert ("kmeans", "cohesion", 16, 1.0) in flagship
