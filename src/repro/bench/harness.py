@@ -99,6 +99,7 @@ def _bench_cell(cell: Cell) -> Dict[str, object]:
     in one process -- compare RSS between runs of the same ``--jobs``.
     """
     from repro.analysis.experiments import run_workload
+    from repro.obs import stats_metrics
 
     extra = dict(cell.config_extra)
     reps = int(extra.pop("_bench_reps", 1))
@@ -131,6 +132,10 @@ def _bench_cell(cell: Cell) -> Dict[str, object]:
         "ops_per_sec": round(stats.ops_executed / wall) if wall else 0,
         "tasks_per_sec": round(stats.tasks_executed / wall, 1) if wall else 0,
         "max_rss_kb": _max_rss_kb(),
+        # Stats-derived (the bus stays disabled during timing, so the
+        # measured cell is the same simulation the baseline measured);
+        # compare_runs ignores unknown fields, so schema 1 still holds.
+        "metrics": stats_metrics(stats),
     }
 
 

@@ -4,7 +4,12 @@ Commands
 --------
 ``run``
     Run one workload under one memory model and print its statistics
-    (``--check`` audits the protocol invariants at every barrier).
+    (``--check`` audits the protocol invariants at every barrier,
+    ``--json`` emits the stats plus derived metrics as JSON).
+``trace``
+    Run one workload with the observability bus fully instrumented and
+    export a Chrome-trace/Perfetto JSON timeline plus metrics
+    time-series (``--self-check`` schema-validates the export for CI).
 ``lint``
     Statically check a workload's program against the SWcc coherence
     rules (COH001..COH006) without simulating anything.
@@ -128,22 +133,95 @@ def cmd_run(args) -> int:
     stats, machine = run_workload(
         args.workload, policy, exp,
         instrument=instrument if args.check else None)
+    failed = False
+    if checker is not None:
+        failed |= bool(checker.all_violations)
+    if exp.track_data and stats.load_mismatches:
+        failed = True
+    if args.json:
+        import json
+
+        from repro.obs import stats_metrics
+        doc = {
+            "workload": args.workload,
+            "policy": args.policy,
+            "n_cores": machine.config.n_cores,
+            "stats": stats.as_dict(),
+            "metrics": stats_metrics(stats),
+        }
+        if checker is not None:
+            doc["invariant_checks"] = checker.checks_run
+            doc["invariant_violations"] = [
+                str(v) for v in checker.all_violations]
+        print(json.dumps(doc, indent=2))
+        return 1 if failed else 0
     print(f"{args.workload} under {args.policy} "
           f"({machine.config.n_cores} cores):")
     for line in stats.summary_lines():
         print("  " + line)
-    failed = False
     if checker is not None:
         violations = checker.all_violations
         print(f"  invariant checks:    {checker.checks_run} barriers, "
               f"{len(violations)} violation(s)")
         for violation in violations[:20]:
             print(f"    {violation}")
-        failed |= bool(violations)
     if exp.track_data and stats.load_mismatches:
         print(f"  LOAD MISMATCHES: {len(stats.load_mismatches)}")
-        failed = True
     return 1 if failed else 0
+
+
+def cmd_trace(args) -> int:
+    import json
+
+    from repro.obs import (ChromeTraceCollector, MetricsRegistry,
+                           stats_metrics, validate_chrome_trace)
+    from repro.obs.chrometrace import DEFAULT_MAX_EVENTS
+    from repro.obs.metrics import DEFAULT_INTERVAL
+
+    exp = _experiment_from_args(args)
+    policy = policy_from_name(args.policy, args.dir_entries, args.dir_assoc)
+    max_events = (DEFAULT_MAX_EVENTS if args.max_events is None
+                  else args.max_events)
+    interval = DEFAULT_INTERVAL if args.interval is None else args.interval
+    collector = None
+    registry = None
+
+    def instrument(machine, program):
+        nonlocal collector, registry
+        collector = ChromeTraceCollector(machine, max_events=max_events)
+        registry = MetricsRegistry(machine, interval=interval)
+
+    stats, _machine = run_workload(args.workload, policy, exp,
+                                   instrument=instrument)
+    collector.detach()
+    registry.detach()
+    doc = collector.to_chrome()
+    other = doc["otherData"]
+    other["workload"] = args.workload
+    other["policy"] = args.policy
+    other["stats"] = stats_metrics(stats)
+    other["metrics"] = registry.as_dict()
+
+    out = pathlib.Path(args.out)
+    if out.parent != pathlib.Path("."):
+        out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(doc) + "\n")
+    print(f"trace written: {out} "
+          f"({len(doc['traceEvents'])} trace events, "
+          f"{collector.dropped} dropped; load in ui.perfetto.dev or "
+          "chrome://tracing)")
+
+    if args.self_check:
+        # Validate the file as written (round-trip through the parser),
+        # not the in-memory document -- this is the CI smoke check.
+        problems = validate_chrome_trace(json.loads(out.read_text()))
+        if problems:
+            for problem in problems:
+                print(f"trace: self-check: {problem}", file=sys.stderr)
+            return 1
+        print(f"self-check: valid Chrome-trace JSON "
+              f"({other['captured_events']} events captured)")
+    return 0
 
 
 def cmd_lint(args) -> int:
@@ -540,8 +618,32 @@ def build_parser() -> argparse.ArgumentParser:
                        help="carry and verify real data values")
     p_run.add_argument("--check", action="store_true",
                        help="audit protocol invariants at every barrier")
+    p_run.add_argument("--json", action="store_true",
+                       help="emit stats + derived metrics as JSON")
     _add_scale_args(p_run)
     p_run.set_defaults(func=cmd_run)
+
+    p_trace = sub.add_parser(
+        "trace", help="export a Chrome-trace timeline of one run")
+    p_trace.add_argument("--workload", choices=ALL_WORKLOADS,
+                         default="kmeans")
+    p_trace.add_argument("--policy", choices=POLICY_CHOICES,
+                         default="cohesion")
+    p_trace.add_argument("--dir-entries", type=int, default=16 * 1024)
+    p_trace.add_argument("--dir-assoc", type=int, default=128)
+    p_trace.add_argument("--out", default="results/trace.json",
+                         help="output path for the Chrome-trace JSON")
+    p_trace.add_argument("--max-events", type=int, default=None,
+                         metavar="N",
+                         help="cap on captured trace events "
+                              "(excess is counted, not recorded)")
+    p_trace.add_argument("--interval", type=float, default=None,
+                         metavar="CYCLES",
+                         help="metrics time-series bucket width")
+    p_trace.add_argument("--self-check", action="store_true",
+                         help="schema-validate the written file (CI smoke)")
+    _add_scale_args(p_trace)
+    p_trace.set_defaults(func=cmd_trace)
 
     p_lint = sub.add_parser(
         "lint", help="static SWcc coherence check (no simulation)")

@@ -30,6 +30,8 @@ from __future__ import annotations
 from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.errors import ConfigError, ProtocolError
+from repro.obs.bus import (EV_DIR_ALLOC, EV_DIR_EVICT, EV_DIR_FREE,
+                           ObsEvent)
 from repro.types import DirectoryKind, DirState, SegmentClass
 
 DIR_S = 0
@@ -123,6 +125,28 @@ class _Occupancy:
         self.count -= 1
         self.count_by_class[klass] -= 1
 
+    def average(self, end_time: float) -> float:
+        """Time-weighted mean entry count over ``[0, end_time]``.
+
+        Folds the final interval -- between the last alloc/free event
+        and the end of the run -- into the weighted sum before dividing;
+        without that fold, entries still resident at the end of the run
+        are under-weighted (the end-of-run truncation bug).
+        """
+        self.advance(end_time)
+        if end_time <= 0:
+            return float(self.count)
+        return self.weighted / end_time
+
+    def average_by_class(self, end_time: float) -> Dict[SegmentClass, float]:
+        """Per-segment-class time-weighted mean counts over the run."""
+        self.advance(end_time)
+        if end_time <= 0:
+            return {klass: float(count)
+                    for klass, count in self.count_by_class.items()}
+        return {klass: weighted / end_time
+                for klass, weighted in self.weighted_by_class.items()}
+
 
 class BaseDirectory:
     """Common storage-independent behaviour of one directory bank."""
@@ -136,6 +160,10 @@ class BaseDirectory:
         #: *global* time-average and maximum entry counts (Figure 9c) are
         #: exact rather than a sum of per-bank maxima.
         self.global_occupancy: Optional[_Occupancy] = None
+        #: Observability bus and this bank's index, wired by the owning
+        #: :class:`~repro.core.cohesion.MemorySystem`.
+        self.obs = None
+        self.bank = 0
         self._tick = 0
         self.evictions = 0
 
@@ -182,6 +210,17 @@ class BaseDirectory:
         self.occupancy.on_alloc(now, klass)
         if self.global_occupancy is not None:
             self.global_occupancy.on_alloc(now, klass)
+        obs = self.obs
+        if obs is not None and obs.active:
+            # Events carry the bank index in ``core`` and the bank's
+            # post-update entry count in ``value``.
+            if victim is not None:
+                obs.emit(ObsEvent(now, EV_DIR_EVICT, -1, self.bank,
+                                  victim.line, value=self.occupancy.count - 1,
+                                  detail=victim.klass.value))
+            obs.emit(ObsEvent(now, EV_DIR_ALLOC, -1, self.bank, line,
+                              value=self.occupancy.count,
+                              detail=klass.value))
         return entry, victim
 
     def deallocate(self, entry: DirectoryEntry, now: float) -> None:
@@ -191,6 +230,11 @@ class BaseDirectory:
         self.occupancy.on_free(now, entry.klass)
         if self.global_occupancy is not None:
             self.global_occupancy.on_free(now, entry.klass)
+        obs = self.obs
+        if obs is not None and obs.active:
+            obs.emit(ObsEvent(now, EV_DIR_FREE, -1, self.bank, entry.line,
+                              value=self.occupancy.count,
+                              detail=entry.klass.value))
 
     def add_sharer(self, entry: DirectoryEntry, cluster: int) -> None:
         entry.sharers |= 1 << cluster

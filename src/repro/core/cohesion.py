@@ -41,6 +41,7 @@ from repro.mem.address import FULL_WORD_MASK, line_of
 from repro.mem.backing import BackingStore, NullBackingStore
 from repro.mem.cache import Cache, CacheLine
 from repro.mem.dram import DramModel
+from repro.obs.bus import EV_MSG, EventBus, ObsEvent
 from repro.runtime.layout import AddressLayout
 from repro.timing import BUCKET_CYCLES, _INV_BUCKET, ResourceGroup
 from repro.types import MessageType, PolicyKind
@@ -63,6 +64,9 @@ class MemorySystem:
 
         self.config = config
         self.policy = policy
+        #: Machine-wide observability bus; every component of this
+        #: memory system (and the clusters built around it) shares it.
+        self.obs = EventBus()
         self.layout = layout or AddressLayout(n_cores=config.n_cores)
         self.map = config.address_map
         self.n_clusters = config.n_clusters
@@ -88,10 +92,14 @@ class MemorySystem:
                                          policy.dir_assoc)
                          for _b in range(config.l3_banks)]
             self.dir_occupancy = _Occupancy()
-            for bank_dir in self.dirs:
+            for bank, bank_dir in enumerate(self.dirs):
                 bank_dir.global_occupancy = self.dir_occupancy
+                bank_dir.obs = self.obs
+                bank_dir.bank = bank
         self.dram = DramModel(config)
+        self.dram.obs = self.obs
         self.net = Network(config)
+        self.net.obs = self.obs
         self.backing = BackingStore() if config.track_data else NullBackingStore()
         self.coarse = CoarseRegionTable()
         self.fine = FineRegionTable(self.layout.fine_table_base)
@@ -166,6 +174,17 @@ class MemorySystem:
         if bank is None:
             bank = memo[line] = self.map.bank_of_line(line)
         return bank
+
+    def _emit_msg(self, now: float, cluster_id: int, line: int, mtype: str,
+                  weight: Optional[int] = None) -> None:
+        """Announce one protocol message on the bus (caller checks active).
+
+        ``weight`` lets an aggregated emit stand for several physical
+        messages (e.g. a clean-request broadcast); samplers treat a None
+        weight as 1.
+        """
+        self.obs.emit(ObsEvent(now, EV_MSG, cluster_id, None, line,
+                               value=weight, detail=mtype))
 
     def directory_of(self, line: int) -> BaseDirectory:
         return self.dirs[self._bank(line)]
@@ -295,6 +314,9 @@ class MemorySystem:
             present, dirty_mask, values, svc_done = \
                 self.clusters[cluster_id].probe_invalidate(line, arrive)
             counters.probe_response += 1
+            if self.obs.active:
+                self._emit_msg(svc_done, cluster_id, line,
+                               MessageType.PROBE_RESPONSE.value)
             resp = self.net.to_l3(cluster_id, svc_done)
             resp = port.acquire(resp, 1.0)
             if present and dirty_mask:
@@ -333,6 +355,10 @@ class MemorySystem:
             self.counters.read_request += 1
             if self.profiler is not None:
                 self.profiler.note(line, self.profiler.READ, cluster_id)
+        if self.obs.active:
+            self._emit_msg(now, cluster_id, line,
+                           MessageType.INSTRUCTION_REQUEST.value if instruction
+                           else MessageType.READ_REQUEST.value)
         bank = self._bank(line)
         t = self.net.to_l3(cluster_id, now)
         swcc, t = self._resolve_domain(line, bank, t)
@@ -355,6 +381,9 @@ class MemorySystem:
             dirty_mask, values, svc_done = \
                 self.clusters[owner].probe_downgrade(line, arrive)
             self.counters.probe_response += 1
+            if self.obs.active:
+                self._emit_msg(svc_done, owner, line,
+                               MessageType.PROBE_RESPONSE.value)
             t = self.net.to_l3(owner, svc_done)
             if dirty_mask:
                 t, _ = self._l3_access(bank, line, t, write_mask=dirty_mask,
@@ -375,6 +404,9 @@ class MemorySystem:
         self.counters.write_request += 1
         if self.profiler is not None:
             self.profiler.note(line, self.profiler.WRITE, cluster_id)
+        if self.obs.active:
+            self._emit_msg(now, cluster_id, line,
+                           MessageType.WRITE_REQUEST.value)
         bank = self._bank(line)
         t = self.net.to_l3(cluster_id, now)
         swcc, t = self._resolve_domain(line, bank, t)
@@ -403,6 +435,9 @@ class MemorySystem:
         self.counters.write_request += 1
         if self.profiler is not None:
             self.profiler.note(line, self.profiler.WRITE, cluster_id)
+        if self.obs.active:
+            self._emit_msg(now, cluster_id, line,
+                           MessageType.WRITE_REQUEST.value)
         bank = self._bank(line)
         t = self.net.to_l3(cluster_id, now)
         directory = self.dirs[bank]
@@ -438,6 +473,8 @@ class MemorySystem:
             self.counters.cache_eviction += 1
         else:
             raise ProtocolError(f"writeback cannot carry {message}")
+        if self.obs.active:
+            self._emit_msg(now, cluster_id, line, message.value)
         bank = self._bank(line)
         t = self.net.to_l3(cluster_id, now)
         t, _ = self._l3_access(bank, line, t, write_mask=dirty_mask,
@@ -463,6 +500,9 @@ class MemorySystem:
         sharer count drops to zero.
         """
         self.counters.read_release += 1
+        if self.obs.active:
+            self._emit_msg(now, cluster_id, line,
+                           MessageType.READ_RELEASE.value)
         bank = self._bank(line)
         t = self.net.to_l3(cluster_id, now)
         t = self.bank_ports.acquire(bank, t, 0.5)
@@ -483,6 +523,9 @@ class MemorySystem:
         """
         self.counters.uncached_atomic += 1
         line = line_of(addr)
+        if self.obs.active:
+            self._emit_msg(now, cluster_id, line,
+                           MessageType.UNCACHED_ATOMIC.value)
         if self.profiler is not None:
             self.profiler.note(line, self.profiler.ATOMIC, cluster_id)
         bank = self._bank(line)
@@ -516,6 +559,9 @@ class MemorySystem:
         transition before acknowledging the issuing core.
         """
         self.counters.uncached_atomic += 1
+        if self.obs.active:
+            self._emit_msg(now, cluster_id, line,
+                           MessageType.UNCACHED_ATOMIC.value)
         bank = self._bank(line)
         table_line = line_of(self.fine.table_word_addr(line))
         t = self.net.to_l3(cluster_id, now)

@@ -50,6 +50,7 @@ from typing import TYPE_CHECKING, Dict, List, Tuple
 from repro.coherence.directory import DIR_M, DIR_S
 from repro.errors import CoherenceRaceError, ProtocolError
 from repro.mem.address import FULL_WORD_MASK, lines_in_range
+from repro.obs.bus import EV_TO_HWCC, EV_TO_SWCC, ObsEvent
 from repro.types import Domain
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -80,6 +81,13 @@ class TransitionEngine:
     def _to_swcc_line_work(self, line: int, t: float) -> float:
         """Directory-side Figure 7a work, after the table bit flips."""
         ms = self.ms
+        # This method is the single funnel for HWcc -> SWcc conversions
+        # (per-line API and bulk region moves alike), so it is the one
+        # emit point observers need.
+        obs = ms.obs
+        if obs.active:
+            obs.emit(ObsEvent(t, EV_TO_SWCC, -1, None, line,
+                              detail="directory transition"))
         bank = ms.map.bank_of_line(line)
         directory = ms.dirs[bank]
         entry = directory.get(line)
@@ -105,6 +113,10 @@ class TransitionEngine:
     def _to_hwcc_line_work(self, line: int, t: float) -> float:
         """Directory-side Figure 7b work, after the table bit flips."""
         ms = self.ms
+        obs = ms.obs
+        if obs.active:
+            obs.emit(ObsEvent(t, EV_TO_HWCC, -1, None, line,
+                              detail="directory transition"))
         bank = ms.map.bank_of_line(line)
         clean, dirty, t = self._broadcast_clean_request(line, t)
         if not clean and not dirty:

@@ -23,9 +23,10 @@ tests. The invariants:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import List, Optional
 
 from repro.coherence.directory import DIR_M
+from repro.obs.bus import EV_BARRIER, Subscription
 from repro.types import PolicyKind
 
 
@@ -46,29 +47,29 @@ class Violation:
 def attach_barrier_checker(program, machine,
                            raise_on_violation: bool = False
                            ) -> "InvariantChecker":
-    """Audit ``machine`` at every one of ``program``'s barriers.
+    """Audit ``machine`` at every barrier of a run.
 
-    Chains a fresh :class:`InvariantChecker` in front of each phase's
-    existing ``after`` hook (running the audit first, so the machine is
-    inspected exactly as the barrier left it) and returns the checker;
-    read its ``all_violations`` after the run. With
-    ``raise_on_violation`` the first dirty barrier raises instead --
-    the fail-fast mode for tests.
+    Subscribes a fresh :class:`InvariantChecker` to the machine bus's
+    barrier events, which the executor emits at the release point
+    *before* any ``Phase.after`` hook runs -- so the machine is
+    inspected exactly as the barrier left it. Returns the checker; read
+    its ``all_violations`` after the run and call :meth:`detach` (also
+    idempotent) to stop auditing. With ``raise_on_violation`` the first
+    dirty barrier raises instead -- the fail-fast mode for tests.
+
+    ``program`` is accepted for interface continuity (the audit now
+    covers any program run on ``machine`` while attached).
     """
+    del program  # the bus subscription covers every program on machine
     checker = InvariantChecker(machine)
 
-    def chain(original):
-        def hook(m):
-            if raise_on_violation:
-                checker.assert_ok()
-            else:
-                checker.check()
-            if original is not None:
-                original(m)
-        return hook
+    def on_barrier(_event) -> None:
+        if raise_on_violation:
+            checker.assert_ok()
+        else:
+            checker.check()
 
-    for phase in program.phases:
-        phase.after = chain(phase.after)
+    checker._subscription = machine.obs.subscribe(on_barrier, (EV_BARRIER,))
     return checker
 
 
@@ -79,6 +80,13 @@ class InvariantChecker:
         self.machine = machine
         self.checks_run = 0
         self.all_violations: List[Violation] = []
+        self._subscription: Optional[Subscription] = None
+
+    def detach(self) -> None:
+        """Stop a barrier-hook subscription; idempotent."""
+        if self._subscription is not None:
+            self._subscription.cancel()
+            self._subscription = None
 
     def check(self) -> List[Violation]:
         """Run every invariant; returns this check's violations."""

@@ -7,9 +7,15 @@ timestamps and the values involved. It is the tool to reach for when a
 verification check reports a stale value: the trace shows exactly which
 core wrote what, when it was flushed, and who invalidated it.
 
-The tracer works by wrapping methods on the live cluster and
-transition-engine objects at :meth:`attach` time and restoring them at
-:meth:`detach`; the simulated behaviour is unchanged.
+The tracer subscribes to the machine's observability bus
+(:mod:`repro.obs`) rather than wrapping methods: the simulator's emit
+hooks fire on *every* execution path, including the interpreter's
+inlined L1-hit fast paths and batched same-line hit runs that bypass
+:meth:`Cluster.load` entirely, so an attached tracer can never silently
+miss events the way method wrapping could. Detach is idempotent, and
+because nothing is monkey-patched there is no stale-restore hazard when
+other tools (e.g. the model checker's mutation harness) replace methods
+while a tracer is attached.
 
 Example::
 
@@ -23,10 +29,13 @@ Example::
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Iterable, List, Optional, Set
+from typing import Iterable, List, Optional, Set
 
-from repro.mem.address import line_of, lines_in_range
-from repro.types import Domain
+from repro.mem.address import lines_in_range
+from repro.obs.bus import (EV_ATOMIC, EV_FLUSH, EV_INV, EV_LOAD,
+                           EV_PROBE_CLEAN, EV_PROBE_DOWN, EV_PROBE_INV,
+                           EV_STORE, EV_TO_HWCC, EV_TO_SWCC, ObsEvent,
+                           Subscription)
 
 
 @dataclass(frozen=True)
@@ -56,12 +65,19 @@ class TraceEvent:
 class LineTracer:
     """Records events on a watched set of lines (or on every line)."""
 
+    #: The event kinds a line trace is made of. Instruction fetches,
+    #: directory bookkeeping, and interconnect/DRAM events are bus-only:
+    #: they are not part of a line's protocol story.
+    KINDS = (EV_LOAD, EV_STORE, EV_ATOMIC, EV_FLUSH, EV_INV,
+             EV_PROBE_INV, EV_PROBE_DOWN, EV_PROBE_CLEAN,
+             EV_TO_SWCC, EV_TO_HWCC)
+
     def __init__(self, watch: Optional[Iterable[int]] = None,
                  max_events: int = 100_000) -> None:
         self.watch: Optional[Set[int]] = set(watch) if watch is not None else None
         self.max_events = max_events
         self.events: List[TraceEvent] = []
-        self._restorers: List[Callable[[], None]] = []
+        self._subscription: Optional[Subscription] = None
         self.dropped = 0
 
     # -- recording ----------------------------------------------------------
@@ -74,6 +90,13 @@ class LineTracer:
             return
         self.events.append(event)
 
+    def _on_event(self, event: ObsEvent) -> None:
+        if not self._wants(event.line):
+            return
+        self._record(TraceEvent(event.time, event.kind, event.cluster,
+                                event.core, event.line, event.addr,
+                                event.value, event.detail))
+
     def watch_region(self, base: int, size: int) -> None:
         """Add every line of ``[base, base+size)`` to the watch set."""
         if self.watch is None:
@@ -83,116 +106,22 @@ class LineTracer:
     # -- attachment --------------------------------------------------------------
     def attach(self, machine) -> "LineTracer":
         """Start tracing ``machine``; returns self for chaining."""
-        if self._restorers:
+        if self._subscription is not None:
             raise RuntimeError("tracer is already attached")
-        for cluster in machine.clusters:
-            self._wrap_cluster(cluster)
-        self._wrap_transitions(machine.memsys.transitions)
+        self._subscription = machine.obs.subscribe(self._on_event, self.KINDS)
         return self
 
     def detach(self) -> None:
-        """Stop tracing and restore all wrapped methods."""
-        for restore in reversed(self._restorers):
-            restore()
-        self._restorers.clear()
+        """Stop tracing; idempotent (a second detach is a no-op)."""
+        if self._subscription is not None:
+            self._subscription.cancel()
+            self._subscription = None
 
     def __enter__(self) -> "LineTracer":
         return self
 
     def __exit__(self, *exc) -> None:
         self.detach()
-
-    def _wrap(self, obj, name: str, wrapper) -> None:
-        original = getattr(obj, name)
-        setattr(obj, name, wrapper(original))
-        self._restorers.append(lambda: setattr(obj, name, original))
-
-    def _wrap_cluster(self, cluster) -> None:
-        cid = cluster.id
-        tracer = self
-
-        def wrap_load(original):
-            def load(core, addr, now):
-                finish, value = original(core, addr, now)
-                line = line_of(addr)
-                if tracer._wants(line):
-                    tracer._record(TraceEvent(now, "load", cid, core, line,
-                                              addr, value))
-                return finish, value
-            return load
-
-        def wrap_store(original):
-            def store(core, addr, value, now):
-                line = line_of(addr)
-                if tracer._wants(line):
-                    tracer._record(TraceEvent(now, "store", cid, core, line,
-                                              addr, value))
-                return original(core, addr, value, now)
-            return store
-
-        def wrap_atomic(original):
-            def atomic(core, addr, func, operand, now):
-                finish, old = original(core, addr, func, operand, now)
-                line = line_of(addr)
-                if tracer._wants(line):
-                    tracer._record(TraceEvent(now, "atomic", cid, core, line,
-                                              addr, old,
-                                              detail=f"operand={operand}"))
-                return finish, old
-            return atomic
-
-        def wrap_lineop(kind, original):
-            def op(core, line, now):
-                if tracer._wants(line):
-                    entry = cluster.l2.peek(line)
-                    detail = ("absent" if entry is None else
-                              f"dirty={entry.dirty_mask:#04x}")
-                    tracer._record(TraceEvent(now, kind, cid, core, line,
-                                              detail=detail))
-                return original(core, line, now)
-            return op
-
-        def wrap_probe(kind, original):
-            def probe(line, now):
-                result = original(line, now)
-                if tracer._wants(line):
-                    tracer._record(TraceEvent(now, kind, cid, None, line,
-                                              detail=str(result[0])))
-                return result
-            return probe
-
-        self._wrap(cluster, "load", wrap_load)
-        self._wrap(cluster, "store", wrap_store)
-        self._wrap(cluster, "atomic", wrap_atomic)
-        self._wrap(cluster, "flush_line",
-                   lambda orig: wrap_lineop("flush", orig))
-        self._wrap(cluster, "invalidate_line",
-                   lambda orig: wrap_lineop("inv", orig))
-        self._wrap(cluster, "probe_invalidate",
-                   lambda orig: wrap_probe("probe_inv", orig))
-        self._wrap(cluster, "probe_downgrade",
-                   lambda orig: wrap_probe("probe_down", orig))
-        self._wrap(cluster, "probe_clean_query",
-                   lambda orig: wrap_probe("probe_clean", orig))
-
-    def _wrap_transitions(self, engine) -> None:
-        tracer = self
-
-        def wrap_line_work(domain: Domain, original):
-            # _to_*_line_work is the single funnel both the per-line API
-            # and bulk region conversions pass through.
-            def line_work(line, t):
-                if tracer._wants(line):
-                    tracer._record(TraceEvent(
-                        t, f"to_{domain.value}", -1, None, line,
-                        detail="directory transition"))
-                return original(line, t)
-            return line_work
-
-        self._wrap(engine, "_to_swcc_line_work",
-                   lambda orig: wrap_line_work(Domain.SWCC, orig))
-        self._wrap(engine, "_to_hwcc_line_work",
-                   lambda orig: wrap_line_work(Domain.HWCC, orig))
 
     # -- reporting -------------------------------------------------------------------
     def events_for(self, line: int) -> List[TraceEvent]:

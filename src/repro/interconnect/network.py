@@ -18,6 +18,7 @@ come from serialising at the home directory bank, never from the network.
 from __future__ import annotations
 
 from repro.config import MachineConfig
+from repro.obs.bus import EV_NET, ObsEvent
 from repro.timing import BUCKET_CYCLES, _INV_BUCKET, Resource, ResourceGroup
 
 #: The crossbar switches many messages per cycle across its ports.
@@ -29,7 +30,7 @@ class Network:
 
     __slots__ = ("one_way_latency", "n_trees", "clusters_per_tree",
                  "up_links", "down_links", "crossbar", "messages",
-                 "tree_occupancy")
+                 "tree_occupancy", "obs")
 
     def __init__(self, config: MachineConfig) -> None:
         tree_stages = 2  # 16-cluster combining tree: two 4:1 stages
@@ -45,6 +46,8 @@ class Network:
         self.down_links = ResourceGroup(self.n_trees)
         self.crossbar = Resource()
         self.messages = 0
+        # Observability bus, wired by the owning MemorySystem.
+        self.obs = None
 
     def tree_of(self, cluster: int) -> int:
         return cluster // self.clusters_per_tree
@@ -85,7 +88,12 @@ class Network:
         begin = bucket * BUCKET_CYCLES
         if start > begin:
             begin = start
-        return begin + self.one_way_latency
+        finish = begin + self.one_way_latency
+        obs = self.obs
+        if obs is not None and obs.active:
+            obs.emit(ObsEvent(now, EV_NET, cluster, dur=finish - now,
+                              detail="up"))
+        return finish
 
     def to_cluster(self, cluster: int, now: float) -> float:
         """Time a reply/probe sent at ``now`` arrives at ``cluster``."""
@@ -117,7 +125,12 @@ class Network:
         begin = bucket * BUCKET_CYCLES
         if start > begin:
             begin = start
-        return begin + self.one_way_latency
+        finish = begin + self.one_way_latency
+        obs = self.obs
+        if obs is not None and obs.active:
+            obs.emit(ObsEvent(now, EV_NET, cluster, dur=finish - now,
+                              detail="down"))
+        return finish
 
     def round_trip(self, cluster: int, now: float, service: float = 0.0) -> float:
         """Convenience: request down, ``service`` cycles, reply back up."""

@@ -5,10 +5,13 @@ module closes the loop by running a flagged program *with every runtime
 oracle attached* and packaging the evidence:
 
 * an :class:`~repro.debug.InvariantChecker` audits the machine at every
-  barrier (chained through each phase's ``after`` hook);
+  barrier (subscribed to the machine's observability bus, so it fires
+  at the release point of every phase);
 * a :class:`~repro.debug.LineTracer` records every protocol event on the
-  flagged lines, so a confirmed staleness bug comes with the exact
-  store/flush/invalidate interleaving that produced it;
+  flagged lines -- including ops consumed by the interpreter's inlined
+  fast paths, which the bus's emit hooks cover -- so a confirmed
+  staleness bug comes with the exact store/flush/invalidate
+  interleaving that produced it;
 * on ``track_data`` machines, checked loads and the end-of-run
   ``verify_expected`` audit catch stale values the moment a core
   observes them;
@@ -96,6 +99,7 @@ def run_with_oracles(machine, program: Program,
     finally:
         if tracer is not None:
             tracer.detach()
+        checker.detach()
     # A final audit after the last barrier (attach_barrier_checker already
     # checked at each intermediate barrier).
     checker.check()

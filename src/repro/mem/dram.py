@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
+from repro.obs.bus import EV_DRAM, ObsEvent
 from repro.timing import ResourceGroup
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -20,7 +21,8 @@ if TYPE_CHECKING:  # pragma: no cover
 class DramModel:
     """Per-channel bandwidth/latency model."""
 
-    __slots__ = ("latency", "occupancy_per_line", "channels", "accesses")
+    __slots__ = ("latency", "occupancy_per_line", "channels", "accesses",
+                 "obs")
 
     def __init__(self, config: "MachineConfig") -> None:
         self.latency = config.dram_latency
@@ -30,6 +32,8 @@ class DramModel:
         self.occupancy_per_line = config.line_bytes / bytes_per_cycle
         self.channels = ResourceGroup(config.dram_channels)
         self.accesses = [0] * config.dram_channels
+        # Observability bus, wired by the owning MemorySystem.
+        self.obs = None
 
     def access(self, channel: int, now: float, lines: int = 1) -> float:
         """Issue a ``lines``-line transfer on ``channel`` at time ``now``.
@@ -40,7 +44,12 @@ class DramModel:
         occupancy = self.occupancy_per_line * lines
         start = self.channels.members[channel].acquire(now, occupancy)
         self.accesses[channel] += 1
-        return start + self.latency + occupancy
+        finish = start + self.latency + occupancy
+        obs = self.obs
+        if obs is not None and obs.active:
+            obs.emit(ObsEvent(now, EV_DRAM, value=channel,
+                              dur=finish - now, detail=f"lines={lines}"))
+        return finish
 
     def reset_contention(self) -> None:
         """Drop all reserved channel capacity (access counts untouched)."""

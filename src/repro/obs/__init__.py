@@ -1,0 +1,32 @@
+"""repro.obs -- the structured observability layer.
+
+One :class:`~repro.obs.bus.EventBus` per machine (``machine.obs``) with
+explicit emit hooks at every protocol-visible action, a metrics registry
+of time-series samplers, and a Chrome-trace/Perfetto exporter. See
+docs/observability.md for the taxonomy and usage guide.
+"""
+
+from repro.obs.bus import (ALL_KINDS, EV_ATOMIC, EV_BARRIER, EV_DIR_ALLOC,
+                           EV_DIR_EVICT, EV_DIR_FREE, EV_DRAM, EV_FLUSH,
+                           EV_IFETCH, EV_INV, EV_LOAD, EV_MSG, EV_NET,
+                           EV_PROBE_CLEAN, EV_PROBE_DOWN, EV_PROBE_INV,
+                           EV_STORE, EV_TO_HWCC, EV_TO_SWCC, EventBus,
+                           ObsEvent, Subscription)
+from repro.obs.chrometrace import (ChromeTraceCollector,
+                                   validate_chrome_trace)
+from repro.obs.metrics import (DirectoryOccupancySampler,
+                               FlushUsefulnessSampler, MessageRateSampler,
+                               MetricsRegistry, PortUtilizationSampler,
+                               stats_metrics)
+
+__all__ = [
+    "ALL_KINDS", "EventBus", "ObsEvent", "Subscription",
+    "EV_LOAD", "EV_STORE", "EV_IFETCH", "EV_ATOMIC", "EV_FLUSH", "EV_INV",
+    "EV_PROBE_INV", "EV_PROBE_DOWN", "EV_PROBE_CLEAN",
+    "EV_DIR_ALLOC", "EV_DIR_FREE", "EV_DIR_EVICT",
+    "EV_TO_SWCC", "EV_TO_HWCC", "EV_MSG", "EV_NET", "EV_DRAM", "EV_BARRIER",
+    "ChromeTraceCollector", "validate_chrome_trace",
+    "MetricsRegistry", "stats_metrics",
+    "DirectoryOccupancySampler", "MessageRateSampler",
+    "PortUtilizationSampler", "FlushUsefulnessSampler",
+]

@@ -1,0 +1,234 @@
+"""Chrome-trace / Perfetto JSON exporter for bus events.
+
+Collects :class:`~repro.obs.bus.ObsEvent` records from one machine's bus
+and renders them in the Chrome Trace Event JSON format (the format both
+``chrome://tracing`` and https://ui.perfetto.dev open directly). Tracks:
+
+* one *process* per cluster with one *thread* row per core (memory ops),
+  plus a ``probes`` row for directory-initiated probes landing there;
+* a ``directory`` process with one row per L3/directory bank
+  (allocations, evictions, frees, domain transitions, messages);
+* a ``network`` process (up/down sends) and a ``dram`` process with one
+  row per channel;
+* a ``phases`` process marking barrier releases.
+
+Timestamps are simulated cycles reported in the format's ``ts``
+microsecond field -- read "1 us" as "1 cycle" in the UI. Events with a
+meaningful duration render as complete ("X") spans; point actions render
+as thread-scoped instants ("i").
+"""
+
+from __future__ import annotations
+
+import json
+from typing import List, Optional
+
+from repro.obs.bus import (EV_ATOMIC, EV_BARRIER, EV_DIR_ALLOC,
+                           EV_DIR_EVICT, EV_DIR_FREE, EV_DRAM, EV_FLUSH,
+                           EV_IFETCH, EV_INV, EV_LOAD, EV_MSG, EV_NET,
+                           EV_PROBE_CLEAN, EV_PROBE_DOWN, EV_PROBE_INV,
+                           EV_STORE, EV_TO_HWCC, EV_TO_SWCC, ObsEvent)
+
+#: Default cap on buffered events; one record is ~9 small fields, so the
+#: default bounds collector memory to a few hundred MB even on big runs.
+DEFAULT_MAX_EVENTS = 500_000
+
+# Synthetic pids for the non-cluster tracks (clusters use pid = cluster
+# id). Kept far above any plausible cluster count.
+PID_DIRECTORY = 10_000
+PID_NETWORK = 10_001
+PID_DRAM = 10_002
+PID_PHASES = 10_003
+
+#: tid of the per-cluster "probes" row (above any per-cluster core index).
+TID_PROBES = 9_999
+
+_MEM_KINDS = frozenset((EV_LOAD, EV_STORE, EV_IFETCH, EV_ATOMIC,
+                        EV_FLUSH, EV_INV))
+_PROBE_KINDS = frozenset((EV_PROBE_INV, EV_PROBE_DOWN, EV_PROBE_CLEAN))
+_DIR_KINDS = frozenset((EV_DIR_ALLOC, EV_DIR_FREE, EV_DIR_EVICT))
+
+
+class ChromeTraceCollector:
+    """Buffers bus events and renders a Chrome-trace document.
+
+    Subscribes to every event kind on construction; call :meth:`detach`
+    (or use as a context manager) before reusing the machine untraced.
+    Events past ``max_events`` are counted in :attr:`dropped` rather
+    than buffered, so a runaway run degrades to a truncated trace
+    instead of exhausting memory.
+    """
+
+    def __init__(self, machine, max_events: int = DEFAULT_MAX_EVENTS) -> None:
+        self.machine = machine
+        self.max_events = max_events
+        self.events: List[ObsEvent] = []
+        self.dropped = 0
+        self._sub = machine.obs.subscribe(self._on_event)
+
+    def _on_event(self, event: ObsEvent) -> None:
+        if len(self.events) < self.max_events:
+            self.events.append(event)
+        else:
+            self.dropped += 1
+
+    def detach(self) -> None:
+        if self._sub is not None:
+            self._sub.cancel()
+            self._sub = None
+
+    def __enter__(self) -> "ChromeTraceCollector":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.detach()
+
+    # -- rendering ---------------------------------------------------------
+    def _track(self, event: ObsEvent):
+        """Map one event onto a (pid, tid, category) track."""
+        kind = event.kind
+        if kind in _MEM_KINDS:
+            return event.cluster, event.core if event.core is not None else 0, \
+                "mem"
+        if kind in _PROBE_KINDS:
+            return event.cluster, TID_PROBES, "probe"
+        if kind in _DIR_KINDS:
+            return PID_DIRECTORY, event.core if event.core is not None else 0, \
+                "dir"
+        if kind in (EV_TO_SWCC, EV_TO_HWCC):
+            bank = self.machine.memsys._bank(event.line)
+            return PID_DIRECTORY, bank, "transition"
+        if kind == EV_MSG:
+            bank = self.machine.memsys._bank(event.line)
+            return PID_DIRECTORY, bank, "msg"
+        if kind == EV_NET:
+            return PID_NETWORK, 0 if event.detail == "up" else 1, "net"
+        if kind == EV_DRAM:
+            return PID_DRAM, event.value if event.value is not None else 0, \
+                "dram"
+        return PID_PHASES, 0, "phase"  # EV_BARRIER and anything future
+
+    def to_chrome(self) -> dict:
+        """Render the buffered events as a Chrome-trace JSON document."""
+        machine = self.machine
+        trace_events: List[dict] = []
+
+        def meta(pid: int, tid: Optional[int], name: str) -> None:
+            entry = {"ph": "M", "pid": pid, "ts": 0,
+                     "name": "process_name" if tid is None else "thread_name",
+                     "args": {"name": name}}
+            if tid is not None:
+                entry["tid"] = tid
+            trace_events.append(entry)
+
+        n_banks = len(machine.memsys.dirs)
+        for cluster in machine.clusters:
+            meta(cluster.id, None, f"cluster {cluster.id}")
+            for core in range(machine.config.cores_per_cluster):
+                meta(cluster.id, core, f"core {core}")
+            meta(cluster.id, TID_PROBES, "probes")
+        meta(PID_DIRECTORY, None, "directory")
+        for bank in range(n_banks):
+            meta(PID_DIRECTORY, bank, f"bank {bank}")
+        meta(PID_NETWORK, None, "network")
+        meta(PID_NETWORK, 0, "up links")
+        meta(PID_NETWORK, 1, "down links")
+        meta(PID_DRAM, None, "dram")
+        for chan in range(machine.config.dram_channels):
+            meta(PID_DRAM, chan, f"channel {chan}")
+        meta(PID_PHASES, None, "phases")
+        meta(PID_PHASES, 0, "barriers")
+
+        for event in self.events:
+            pid, tid, cat = self._track(event)
+            name = event.kind if not event.detail else \
+                f"{event.kind}:{event.detail}"
+            args: dict = {}
+            if event.line >= 0:
+                args["line"] = f"{event.line:#x}"
+            if event.addr is not None:
+                args["addr"] = f"{event.addr:#x}"
+            if event.value is not None:
+                args["value"] = event.value
+            if event.detail:
+                args["detail"] = event.detail
+            entry = {"name": name, "cat": cat, "pid": pid, "tid": tid,
+                     "ts": event.time, "args": args}
+            if event.dur > 0:
+                entry["ph"] = "X"
+                entry["dur"] = event.dur
+            else:
+                entry["ph"] = "i"
+                entry["s"] = "t"
+            trace_events.append(entry)
+
+        return {
+            "traceEvents": trace_events,
+            "displayTimeUnit": "ms",
+            "otherData": {
+                "generator": "repro.obs.chrometrace",
+                "time_unit": "simulated cycles (shown as us)",
+                "n_clusters": machine.config.n_clusters,
+                "cores_per_cluster": machine.config.cores_per_cluster,
+                "captured_events": len(self.events),
+                "dropped_events": self.dropped,
+            },
+        }
+
+    def export(self, path) -> dict:
+        """Render and write the document to ``path``; returns it."""
+        doc = self.to_chrome()
+        with open(path, "w") as handle:
+            json.dump(doc, handle)
+            handle.write("\n")
+        return doc
+
+
+def validate_chrome_trace(doc) -> List[str]:
+    """Schema-check a Chrome-trace document; returns a list of problems.
+
+    An empty list means the document is structurally valid Trace Event
+    JSON: top-level ``traceEvents`` array, every entry carrying a name,
+    a known phase type, numeric non-negative ``ts``, integer pid/tid,
+    durations on complete events, and JSON-serialisable throughout.
+    Used by ``repro trace --self-check`` in CI.
+    """
+    problems: List[str] = []
+    if not isinstance(doc, dict):
+        return ["document is not a JSON object"]
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return ["missing traceEvents array"]
+    if not events:
+        problems.append("traceEvents is empty")
+    for index, entry in enumerate(events):
+        where = f"traceEvents[{index}]"
+        if not isinstance(entry, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        if not isinstance(entry.get("name"), str) or not entry.get("name"):
+            problems.append(f"{where}: missing name")
+        phase = entry.get("ph")
+        if phase not in ("X", "i", "M", "C", "B", "E"):
+            problems.append(f"{where}: unknown ph {phase!r}")
+        if phase != "M":
+            ts = entry.get("ts")
+            if not isinstance(ts, (int, float)) or ts < 0:
+                problems.append(f"{where}: bad ts {ts!r}")
+        if not isinstance(entry.get("pid"), int):
+            problems.append(f"{where}: bad pid {entry.get('pid')!r}")
+        if phase == "X":
+            dur = entry.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                problems.append(f"{where}: X event with bad dur {dur!r}")
+        if phase == "M" and not (isinstance(entry.get("args"), dict)
+                                 and entry["args"].get("name")):
+            problems.append(f"{where}: metadata event without args.name")
+        if len(problems) >= 20:
+            problems.append("... (further problems suppressed)")
+            break
+    try:
+        json.dumps(doc)
+    except (TypeError, ValueError) as exc:
+        problems.append(f"document is not JSON-serialisable: {exc}")
+    return problems

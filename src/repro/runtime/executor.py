@@ -26,6 +26,7 @@ from typing import List, Set
 from repro.errors import SimulationError
 from repro.mem.address import (LINE_BYTES, LINE_SHIFT, WORD_SHIFT,
                                WORDS_PER_LINE)
+from repro.obs.bus import EV_BARRIER, EV_IFETCH, EV_LOAD, ObsEvent
 from repro.runtime.program import Phase, Program
 from repro.sim.stats import RunStats, collect_stats
 from repro.types import (OP_ATOMIC, OP_BARRIER, OP_COMPUTE, OP_IFETCH,
@@ -79,6 +80,7 @@ class BspExecutor:
         # One ifetch-op prefix per distinct (code_addr, code_lines):
         # every task of a phase shares it, so build it once.
         self._code_prefix: dict = {}
+        self._obs = machine.obs
 
     # -- public -----------------------------------------------------------
     def run(self) -> RunStats:
@@ -149,6 +151,12 @@ class BspExecutor:
         for core in range(n_cores):
             machine.core_clocks[core] = release
         self.barriers += 1
+        obs = self._obs
+        if obs.active:
+            # Emitted before phase.after so subscribers (the barrier
+            # invariant checker) observe the machine at the release
+            # point, not after the phase's verification hook ran.
+            obs.emit(ObsEvent(release, EV_BARRIER, detail=phase.name))
         if phase.after is not None:
             phase.after(machine)
 
@@ -214,6 +222,12 @@ class BspExecutor:
         ip = state.ip
         start_ip = ip
         end = min(len(ops), ip + self.ops_per_slice)
+        # The inlined fast paths below bypass Cluster.load/ifetch, so
+        # they carry their own emit hooks: every op the batch loop
+        # consumes announces itself exactly as the cluster methods
+        # would (the tests/obs fast-path regression pins this).
+        obs = self._obs
+        obs_active = obs.active
         check_loads = self._check_loads
         mismatches = self.load_mismatches
         l1 = cluster.l1d[local]
@@ -238,6 +252,13 @@ class BspExecutor:
                     run = 0
                     while True:
                         run += 1
+                        if obs_active:
+                            word = (addr >> WORD_SHIFT) & word_mask
+                            obs.emit(ObsEvent(
+                                now, EV_LOAD, cluster.id, local, line,
+                                addr,
+                                e1.data[word] if e1.data is not None else 0,
+                                1.0))
                         now += 1
                         if check_loads and len(op) > 2:
                             word = (addr >> WORD_SHIFT) & word_mask
@@ -275,6 +296,9 @@ class BspExecutor:
                 e1 = l1i.sets[line % l1i.n_sets].get(line)
                 if e1 is not None:
                     l1i.touch(e1)
+                    if obs_active:
+                        obs.emit(ObsEvent(now, EV_IFETCH, cluster.id, local,
+                                          line, addr, None, 1.0))
                     now += 1
                 else:
                     now = cluster.ifetch(local, addr, now)

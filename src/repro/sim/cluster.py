@@ -35,6 +35,9 @@ from repro.errors import ProtocolError
 from repro.mem.address import (FULL_WORD_MASK, LINE_SHIFT, WORD_SHIFT,
                                WORDS_PER_LINE)
 from repro.mem.cache import Cache, CacheLine
+from repro.obs.bus import (EV_ATOMIC, EV_FLUSH, EV_IFETCH, EV_INV, EV_LOAD,
+                           EV_PROBE_CLEAN, EV_PROBE_DOWN, EV_PROBE_INV,
+                           EV_STORE, ObsEvent)
 from repro.timing import BUCKET_CYCLES, _INV_BUCKET, Resource
 from repro.types import MessageType, PolicyKind
 
@@ -42,18 +45,21 @@ from repro.types import MessageType, PolicyKind
 class Cluster:
     """One eight-core cluster and its shared L2."""
 
-    # "__dict__" is included deliberately: diagnostic tools (the
-    # LineTracer) wrap methods on live cluster instances.
+    # "__dict__" is included deliberately: the model checker's mutation
+    # harness monkey-patches protocol methods on live cluster instances.
+    # Observation tools no longer wrap methods -- they subscribe to the
+    # machine's event bus (``self.obs``, see repro.obs.bus).
     __slots__ = ("id", "memsys", "counters", "l2", "l1d", "l1i", "port",
                  "bus_latency", "l2_latency", "port_occ", "swcc_all",
                  "uses_dir", "n_cores", "track_data", "_posted",
-                 "write_buffer_depth", "__dict__")
+                 "write_buffer_depth", "obs", "__dict__")
 
 
     def __init__(self, cluster_id: int, config: MachineConfig, policy: Policy,
                  memsys: MemorySystem) -> None:
         self.id = cluster_id
         self.memsys = memsys
+        self.obs = memsys.obs
         self.counters = memsys.counters
         self.track_data = config.track_data
         self.l2 = Cache(config.l2_lines, config.l2_assoc,
@@ -178,6 +184,10 @@ class Cluster:
             l1.touch(e1)
             if e1.valid_mask & bit:
                 value = e1.data[word] if e1.data is not None else 0
+                obs = self.obs
+                if obs.active:
+                    obs.emit(ObsEvent(now, EV_LOAD, self.id, core, line,
+                                      addr, value, 1.0))
                 return now + 1, value
         else:
             l1.misses += 1
@@ -211,6 +221,10 @@ class Cluster:
         if entry is not None and entry.valid_mask & bit:
             self._fill_l1(l1, entry)
             value = entry.data[word] if entry.data is not None else 0
+            obs = self.obs
+            if obs.active:
+                obs.emit(ObsEvent(now, EV_LOAD, self.id, core, line,
+                                  addr, value, t - now))
             return t, value
         if entry is not None and not entry.incoherent:
             raise ProtocolError(f"partially valid coherent line {line:#x}")
@@ -218,12 +232,20 @@ class Cluster:
         entry = self._install(line, reply, keep=entry)
         self._fill_l1(l1, entry)
         value = entry.data[word] if entry.data is not None else 0
+        obs = self.obs
+        if obs.active:
+            obs.emit(ObsEvent(now, EV_LOAD, self.id, core, line,
+                              addr, value, reply.time - now))
         return reply.time, value
 
     def store(self, core: int, addr: int, value: int, now: float) -> float:
         """Store one word; returns the finish time at the core."""
         line = addr >> LINE_SHIFT
         word = (addr >> WORD_SHIFT) & (WORDS_PER_LINE - 1)
+        # Stores announce at issue time, before any probes they trigger.
+        obs = self.obs
+        if obs.active:
+            obs.emit(ObsEvent(now, EV_STORE, self.id, core, line, addr, value))
         l1d = self.l1d
         l1 = l1d[core]
         index = line % l1.n_sets
@@ -309,6 +331,10 @@ class Cluster:
         e1 = l1.sets[line % l1.n_sets].get(line)
         if e1 is not None:
             l1.touch(e1)
+            obs = self.obs
+            if obs.active:
+                obs.emit(ObsEvent(now, EV_IFETCH, self.id, core, line,
+                                  addr, None, 1.0))
             return now + 1
         l1.misses += 1
         t = self._l2_start(now)
@@ -318,13 +344,23 @@ class Cluster:
             entry = self._install(line, reply)
             t = reply.time
         l1.fill(line, FULL_WORD_MASK)
+        obs = self.obs
+        if obs.active:
+            obs.emit(ObsEvent(now, EV_IFETCH, self.id, core, line,
+                              addr, None, t - now))
         return t
 
     def atomic(self, core: int, addr: int, func, operand: int,
                now: float) -> Tuple[float, int]:
         """Uncached atomic RMW: bypasses the L1s and L2 to the L3."""
-        return self.memsys.atomic(self.id, addr, func, operand,
-                                  now + self.bus_latency)
+        t, old = self.memsys.atomic(self.id, addr, func, operand,
+                                    now + self.bus_latency)
+        obs = self.obs
+        if obs.active:
+            obs.emit(ObsEvent(now, EV_ATOMIC, self.id, core,
+                              addr >> LINE_SHIFT, addr, old, t - now,
+                              f"operand={operand}"))
+        return t, old
 
     def flush_line(self, core: int, line: int, now: float) -> float:
         """Software writeback (WB) instruction for one line.
@@ -334,6 +370,16 @@ class Cluster:
         flush whose line was already evicted is wasted (Figure 3).
         """
         self.counters.wb_issued += 1
+        obs = self.obs
+        if obs.active:
+            # value carries the pre-op dirty mask (None = line absent) so
+            # samplers can classify useful vs. wasted flushes.
+            peeked = self.l2.peek(line)
+            obs.emit(ObsEvent(now, EV_FLUSH, self.id, core, line,
+                              value=None if peeked is None
+                              else peeked.dirty_mask,
+                              detail="absent" if peeked is None
+                              else f"dirty={peeked.dirty_mask:#04x}"))
         t = self._l2_start(now)
         entry = self.l2.peek(line)
         if entry is None:
@@ -360,6 +406,14 @@ class Cluster:
         so the directory's sharer state stays exact.
         """
         self.counters.inv_issued += 1
+        obs = self.obs
+        if obs.active:
+            peeked = self.l2.peek(line)
+            obs.emit(ObsEvent(now, EV_INV, self.id, core, line,
+                              value=None if peeked is None
+                              else peeked.dirty_mask,
+                              detail="absent" if peeked is None
+                              else f"dirty={peeked.dirty_mask:#04x}"))
         t = self._l2_start(now)
         entry = self.l2.peek(line)
         if entry is None:
@@ -435,6 +489,10 @@ class Cluster:
         t = self.port.acquire(now, self.port_occ) + self.l2_latency
         entry = self.l2.remove(line)
         self._drop_l1(line)
+        obs = self.obs
+        if obs.active:
+            obs.emit(ObsEvent(now, EV_PROBE_INV, self.id, None, line,
+                              dur=t - now, detail=str(entry is not None)))
         if entry is None:
             return False, 0, None, t
         values = list(entry.data) if entry.data is not None else None
@@ -451,6 +509,10 @@ class Cluster:
         mask = entry.dirty_mask
         values = list(entry.data) if entry.data is not None else None
         entry.clean()
+        obs = self.obs
+        if obs.active:
+            obs.emit(ObsEvent(now, EV_PROBE_DOWN, self.id, None, line,
+                              dur=t - now, detail=str(mask)))
         return mask, values, t
 
     def probe_clean_query(self, line: int, now: float
@@ -468,16 +530,22 @@ class Cluster:
         t = self.port.acquire(now, self.port_occ) + self.l2_latency
         entry = self.l2.peek(line)
         if entry is None:
-            return "absent", 0, None, t
-        if entry.dirty_mask:
+            result = ("absent", 0, None, t)
+        elif entry.dirty_mask:
             values = list(entry.data) if entry.data is not None else None
-            return "dirty", entry.dirty_mask, values, t
-        if entry.valid_mask != FULL_WORD_MASK:
+            result = ("dirty", entry.dirty_mask, values, t)
+        elif entry.valid_mask != FULL_WORD_MASK:
             self.l2.remove(line)
             self._drop_l1(line)
-            return "absent", 0, None, t
-        entry.incoherent = False
-        return "clean", 0, None, t
+            result = ("absent", 0, None, t)
+        else:
+            entry.incoherent = False
+            result = ("clean", 0, None, t)
+        obs = self.obs
+        if obs.active:
+            obs.emit(ObsEvent(now, EV_PROBE_CLEAN, self.id, None, line,
+                              dur=t - now, detail=result[0]))
+        return result
 
     def probe_make_coherent(self, line: int) -> None:
         """Upgrade a dirty SWcc line in place to hardware-owned (M)."""

@@ -30,6 +30,9 @@ class Machine:
         if self.layout.n_cores != config.n_cores:
             raise ValueError("layout core count does not match machine config")
         self.memsys = MemorySystem(config, policy, self.layout)
+        #: The machine-wide observability bus (see repro.obs): tracers,
+        #: checkers, and samplers subscribe here.
+        self.obs = self.memsys.obs
         self.clusters: List[Cluster] = [
             Cluster(cid, config, policy, self.memsys)
             for cid in range(config.n_clusters)]

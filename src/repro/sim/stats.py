@@ -31,6 +31,7 @@ class RunStats:
     dir_max_entries: int = 0
     dir_avg_by_class: Dict[SegmentClass, float] = field(
         default_factory=lambda: {klass: 0.0 for klass in SegmentClass})
+    dir_avg_entries_per_bank: list = field(default_factory=list)
     dir_evictions: int = 0
 
     # substrate counters
@@ -76,6 +77,37 @@ class RunStats:
             lines.append(f"SWcc races detected: {self.swcc_races}")
         return lines
 
+    def as_dict(self) -> dict:
+        """Plain-JSON rendering of every reported statistic."""
+        return {
+            "cycles": self.cycles,
+            "tasks_executed": self.tasks_executed,
+            "ops_executed": self.ops_executed,
+            "barriers": self.barriers,
+            "total_messages": self.total_messages,
+            "messages": {mtype.value: count for mtype, count
+                         in self.message_breakdown().items()},
+            "dir_avg_entries": self.dir_avg_entries,
+            "dir_max_entries": self.dir_max_entries,
+            "dir_avg_by_class": {klass.value: avg for klass, avg
+                                 in self.dir_avg_by_class.items()},
+            "dir_avg_entries_per_bank": list(self.dir_avg_entries_per_bank),
+            "dir_evictions": self.dir_evictions,
+            "l3_hits": self.l3_hits,
+            "l3_misses": self.l3_misses,
+            "dram_accesses": self.dram_accesses,
+            "network_messages": self.network_messages,
+            "fine_table_lookups": self.fine_table_lookups,
+            "swcc_races": self.swcc_races,
+            "transitions_to_swcc": self.transitions_to_swcc,
+            "transitions_to_hwcc": self.transitions_to_hwcc,
+            "wb_issued": self.messages.wb_issued,
+            "inv_issued": self.messages.inv_issued,
+            "useful_wb_fraction": self.messages.useful_wb_fraction,
+            "useful_inv_fraction": self.messages.useful_inv_fraction,
+            "load_mismatches": len(self.load_mismatches),
+        }
+
 
 def collect_stats(machine, end_time: float) -> RunStats:
     """Snapshot every counter of ``machine`` at ``end_time``."""
@@ -93,10 +125,11 @@ def collect_stats(machine, end_time: float) -> RunStats:
     stats.dir_evictions = sum(d.evictions for d in ms.dirs)
     if ms.dir_occupancy is not None and end_time > 0:
         occ = ms.dir_occupancy
-        occ.advance(end_time)
-        stats.dir_avg_entries = occ.weighted / end_time
+        stats.dir_avg_entries = occ.average(end_time)
         stats.dir_max_entries = occ.max_count
-        stats.dir_avg_by_class = {
-            klass: occ.weighted_by_class[klass] / end_time
-            for klass in SegmentClass}
+        stats.dir_avg_by_class = occ.average_by_class(end_time)
+        # Fold each bank's final interval too (the same end-of-run
+        # truncation fix, applied per bank).
+        stats.dir_avg_entries_per_bank = [
+            bank_dir.occupancy.average(end_time) for bank_dir in ms.dirs]
     return stats

@@ -92,6 +92,32 @@ class TestLifecycle:
             tracer.attach(machine)
         tracer.detach()
 
+    def test_detach_idempotent(self, machine):
+        tracer = LineTracer().attach(machine)
+        tracer.detach()
+        tracer.detach()  # second detach is a no-op, not an error
+        assert machine.obs.active is False
+
+    def test_detach_without_attach_is_noop(self, machine):
+        LineTracer().detach()
+
+    def test_reattach_after_detach(self, machine):
+        tracer = LineTracer().attach(machine)
+        tracer.detach()
+        tracer.attach(machine)  # legal again once detached
+        machine.clusters[0].load(0, HEAP, 0.0)
+        tracer.detach()
+        assert len(tracer) == 1
+
+    def test_detach_leaves_other_subscribers(self, machine):
+        first = LineTracer().attach(machine)
+        second = LineTracer().attach(machine)
+        first.detach()
+        machine.clusters[0].load(0, HEAP, 0.0)
+        second.detach()
+        assert len(first) == 0
+        assert len(second) == 1
+
     def test_max_events_drops(self, machine):
         with LineTracer(max_events=3).attach(machine) as tracer:
             for i in range(6):

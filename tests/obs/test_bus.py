@@ -1,0 +1,97 @@
+"""EventBus subscription/dispatch semantics."""
+
+import pytest
+
+from repro.obs.bus import (ALL_KINDS, EV_LOAD, EV_MSG, EV_STORE, EventBus,
+                           ObsEvent)
+
+
+def ev(kind, time=0.0, **kw):
+    return ObsEvent(time, kind, **kw)
+
+
+class TestSubscription:
+    def test_fresh_bus_inactive(self):
+        bus = EventBus()
+        assert bus.active is False
+        assert bus.emitted == 0
+
+    def test_subscribe_activates(self):
+        bus = EventBus()
+        sub = bus.subscribe(lambda e: None, (EV_LOAD,))
+        assert bus.active is True
+        sub.cancel()
+        assert bus.active is False
+
+    def test_cancel_idempotent(self):
+        bus = EventBus()
+        sub = bus.subscribe(lambda e: None, (EV_LOAD,))
+        sub.cancel()
+        sub.cancel()  # no-op, must not raise or corrupt
+        assert bus.active is False
+
+    def test_empty_kinds_rejected(self):
+        bus = EventBus()
+        with pytest.raises(ValueError):
+            bus.subscribe(lambda e: None, [])
+
+    def test_duplicate_kinds_deduped(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe(seen.append, (EV_LOAD, EV_LOAD))
+        bus.emit(ev(EV_LOAD))
+        assert len(seen) == 1
+
+    def test_active_while_any_subscriber_remains(self):
+        bus = EventBus()
+        sub_a = bus.subscribe(lambda e: None, (EV_LOAD,))
+        sub_b = bus.subscribe(lambda e: None, (EV_STORE,))
+        sub_a.cancel()
+        assert bus.active is True
+        sub_b.cancel()
+        assert bus.active is False
+
+
+class TestDispatch:
+    def test_kind_filtering(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe(seen.append, (EV_LOAD,))
+        bus.emit(ev(EV_LOAD))
+        bus.emit(ev(EV_STORE))
+        assert [e.kind for e in seen] == [EV_LOAD]
+        assert bus.emitted == 2
+
+    def test_wildcard_receives_everything(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe(seen.append)  # kinds=None
+        for kind in ALL_KINDS:
+            bus.emit(ev(kind))
+        assert [e.kind for e in seen] == list(ALL_KINDS)
+
+    def test_multiple_subscribers_same_kind(self):
+        bus = EventBus()
+        first, second = [], []
+        bus.subscribe(first.append, (EV_MSG,))
+        bus.subscribe(second.append, (EV_MSG,))
+        bus.emit(ev(EV_MSG, detail="read_request"))
+        assert len(first) == len(second) == 1
+
+    def test_cancelled_subscriber_not_called(self):
+        bus = EventBus()
+        seen = []
+        sub = bus.subscribe(seen.append, (EV_LOAD,))
+        sub.cancel()
+        bus.emit(ev(EV_LOAD))
+        assert seen == []
+
+    def test_event_defaults(self):
+        event = ObsEvent(5.0, EV_LOAD)
+        assert event.cluster == -1
+        assert event.core is None
+        assert event.line == -1
+        assert event.addr is None
+        assert event.value is None
+        assert event.dur == 0.0
+        assert event.detail == ""

@@ -1,0 +1,81 @@
+"""The end-of-run truncation fix in directory occupancy accounting.
+
+Before the fix, ``collect_stats`` divided the weighted sum accumulated
+up to the *last alloc/free event* by the full run length: entries still
+resident at the end of the run were under-weighted. ``_Occupancy.average``
+now folds the final interval in first.
+"""
+
+import pytest
+
+from repro.coherence.directory import _Occupancy
+from repro.types import SegmentClass
+
+HEAP = SegmentClass.HEAP_GLOBAL
+
+
+class TestAverage:
+    def test_hand_computed_average(self):
+        occ = _Occupancy()
+        occ.on_alloc(10.0, HEAP)   # [0,10): 0 entries
+        occ.on_alloc(20.0, HEAP)   # [10,20): 1 entry
+        occ.on_free(30.0, HEAP)    # [20,30): 2 entries
+        # [30,50): 1 entry still resident -- the interval the old code
+        # dropped. weighted = 0*10 + 1*10 + 2*10 + 1*20 = 50.
+        assert occ.average(50.0) == pytest.approx(1.0)
+
+    def test_final_interval_not_truncated(self):
+        occ = _Occupancy()
+        occ.on_alloc(10.0, HEAP)
+        occ.on_alloc(20.0, HEAP)
+        occ.on_free(30.0, HEAP)
+        # The pre-fix result divided the weighted sum as of the last
+        # event (30.0) by the run length: 30/50 = 0.6. Guard against a
+        # regression to exactly that value.
+        assert occ.average(50.0) != pytest.approx(0.6)
+
+    def test_entry_resident_to_the_end(self):
+        occ = _Occupancy()
+        occ.on_alloc(0.0, HEAP)
+        # One entry resident for the whole run must average exactly 1,
+        # not last_event_time/end_time (which would be 0 here).
+        assert occ.average(100.0) == pytest.approx(1.0)
+
+    def test_average_idempotent(self):
+        occ = _Occupancy()
+        occ.on_alloc(5.0, HEAP)
+        first = occ.average(40.0)
+        # advance() is monotonic: a second call at the same end time
+        # adds a zero-length interval and returns the same mean.
+        assert occ.average(40.0) == pytest.approx(first)
+
+    def test_zero_end_time_returns_count(self):
+        occ = _Occupancy()
+        occ.on_alloc(0.0, HEAP)
+        assert occ.average(0.0) == pytest.approx(1.0)
+
+    def test_by_class_sums_to_total(self):
+        occ = _Occupancy()
+        occ.on_alloc(0.0, SegmentClass.CODE)
+        occ.on_alloc(25.0, HEAP)
+        occ.on_free(75.0, SegmentClass.CODE)
+        by_class = occ.average_by_class(100.0)
+        assert by_class[SegmentClass.CODE] == pytest.approx(0.75)
+        assert by_class[HEAP] == pytest.approx(0.75)
+        assert sum(by_class.values()) == pytest.approx(occ.average(100.0))
+
+
+class TestPerBankStats:
+    def test_bank_averages_sum_to_global(self):
+        from repro.analysis.experiments import ExperimentConfig, run_workload
+        from repro.config import Policy
+
+        exp = ExperimentConfig(n_clusters=1, scale=0.2)
+        stats, machine = run_workload("gjk", Policy.cohesion(), exp)
+        assert len(stats.dir_avg_entries_per_bank) == len(machine.memsys.dirs)
+        # The global tracker and the per-bank trackers see the same
+        # alloc/free stream, so the per-bank time-weighted means (each
+        # now folding its own final interval) must sum to the global one.
+        assert sum(stats.dir_avg_entries_per_bank) == pytest.approx(
+            stats.dir_avg_entries)
+        assert stats.dir_avg_entries > 0

@@ -67,6 +67,56 @@ class TestCommands:
         assert code == 0
         assert "invariant checks:" in out and "0 violation(s)" in out
 
+    def test_run_json(self, capsys):
+        import json
+
+        code = main(["run", "--workload", "gjk", "--clusters", "1",
+                     "--scale", "0.1", "--json"])
+        out = capsys.readouterr().out
+        assert code == 0
+        doc = json.loads(out)
+        assert doc["workload"] == "gjk"
+        assert doc["stats"]["cycles"] > 0
+        assert doc["metrics"]["total_messages"] == \
+            doc["stats"]["total_messages"]
+
+    def test_run_json_with_check(self, capsys):
+        import json
+
+        code = main(["run", "--workload", "gjk", "--clusters", "1",
+                     "--scale", "0.1", "--json", "--check"])
+        doc = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert doc["invariant_checks"] > 0
+        assert doc["invariant_violations"] == []
+
+    def test_trace_command(self, capsys, tmp_path):
+        import json
+
+        out_path = tmp_path / "trace.json"
+        code = main(["trace", "--workload", "gjk", "--clusters", "1",
+                     "--scale", "0.1", "--out", str(out_path),
+                     "--self-check"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "self-check: valid Chrome-trace JSON" in out
+        doc = json.loads(out_path.read_text())
+        assert doc["traceEvents"]
+        assert doc["otherData"]["workload"] == "gjk"
+        assert doc["otherData"]["metrics"]["dir_occupancy"]["allocs"] > 0
+
+    def test_trace_max_events(self, capsys, tmp_path):
+        import json
+
+        out_path = tmp_path / "trace.json"
+        code = main(["trace", "--workload", "gjk", "--clusters", "1",
+                     "--scale", "0.1", "--out", str(out_path),
+                     "--max-events", "100", "--self-check"])
+        assert code == 0
+        doc = json.loads(out_path.read_text())
+        assert doc["otherData"]["captured_events"] == 100
+        assert doc["otherData"]["dropped_events"] > 0
+
     def test_compare_command(self, capsys):
         code = main(["compare", "--workload", "gjk", "--clusters", "1",
                      "--scale", "0.1"])
