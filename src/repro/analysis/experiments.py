@@ -141,13 +141,32 @@ def run_workload(name: str, policy: Policy, exp: ExperimentConfig,
     the program is built but before it runs -- the hook point for
     attaching debug oracles (invariant checkers, tracers) to a normal
     experiment run.
+
+    The program comes through the compiled-artifact store
+    (:func:`repro.cache.programs.build_program`) when caching is enabled:
+    a store hit replays the build's allocation side effects and hands the
+    executor the frozen op stream directly, which is bit-identical to a
+    fresh build. Instrumented runs thaw the frozen form first so hooks
+    see an ordinary :class:`~repro.runtime.program.Program`.
     """
+    from repro.cache.programs import build_program
+    from repro.errors import StaleArtifactError
+    from repro.runtime.program import FrozenProgram
+
     machine = Machine(exp.machine_config(**config_extra), policy)
     workload = get_workload(name, scale=exp.scale, seed=exp.seed)
     if force_hw_data:
         workload.force_hw_data = True
-    program = workload.build(machine)
+    try:
+        program = build_program(name, workload, machine)
+    except StaleArtifactError:
+        # The failed replay may have part-allocated the machine; rebuild
+        # everything from scratch so the run matches a fresh one exactly.
+        machine = Machine(exp.machine_config(**config_extra), policy)
+        program = workload.build(machine)
     if instrument is not None:
+        if isinstance(program, FrozenProgram):
+            program = program.thaw()
         instrument(machine, program)
     stats = machine.run(program, ops_per_slice=exp.ops_per_slice)
     return stats, machine

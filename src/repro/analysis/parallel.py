@@ -118,7 +118,8 @@ def stderr_progress(prefix: str) -> ProgressFn:
 
 def run_cells(cells: Sequence[Cell], jobs: Optional[int] = None,
               progress: Optional[ProgressFn] = None,
-              worker: Callable[[Cell], object] = _run_cell) -> List[object]:
+              worker: Callable[[Cell], object] = _run_cell,
+              cache: object = None) -> List[object]:
     """Run every cell and return results in cell order.
 
     ``jobs`` follows :func:`resolve_jobs`; with an effective job count of
@@ -128,9 +129,71 @@ def run_cells(cells: Sequence[Cell], jobs: Optional[int] = None,
     must be a picklable module-level callable (the default simulates the
     cell and returns its :class:`RunStats`; ``repro.bench`` substitutes a
     worker that also times the cell and samples peak RSS).
+
+    ``cache`` controls the content-addressed result cache: ``None``
+    (default) consults it for the default worker when ``REPRO_CACHE``
+    allows, ``False`` bypasses it, and an explicit
+    :class:`~repro.cache.results.ResultCache` uses that store (with any
+    worker). Hits fill their positions without running the worker; only
+    the remaining cells are dispatched (serially or to the pool), and
+    their fresh results are stored back. Merge order and progress
+    accounting are unchanged -- cached cells simply complete first.
     """
     cells = list(cells)
     n_jobs = min(resolve_jobs(jobs), max(1, len(cells)))
+    rcache = _resolve_cache(cache, worker)
+    if rcache is None:
+        return _execute(cells, n_jobs, progress, worker)
+
+    total = len(cells)
+    results: List[object] = [_PENDING] * total
+    done = 0
+    start = time.perf_counter()
+    for index, cell in enumerate(cells):
+        stats = rcache.get(cell)
+        if stats is not None:
+            results[index] = stats
+            done += 1
+            if progress is not None:
+                progress(done, total, cell.label,
+                         time.perf_counter() - start)
+    pending = [i for i in range(total) if results[i] is _PENDING]
+    if pending:
+        sub_progress = None
+        if progress is not None:
+            def sub_progress(sub_done, _sub_total, label, elapsed,
+                             _base=done):
+                progress(_base + sub_done, total, label, elapsed)
+        computed = _execute([cells[i] for i in pending],
+                            min(n_jobs, len(pending)), sub_progress, worker)
+        for index, stats in zip(pending, computed):
+            results[index] = stats
+            rcache.put(cells[index], stats)
+    return results
+
+
+_PENDING = object()
+
+
+def _resolve_cache(cache: object, worker: Callable[[Cell], object]):
+    """Map the ``cache`` argument to a ResultCache instance or None."""
+    if cache is None or cache is True:
+        # Auto mode: only the default worker's results are RunStats the
+        # cache can represent; custom workers must opt in explicitly.
+        if worker is not _run_cell:
+            return None
+        from repro.cache.keys import cache_enabled
+        from repro.cache.results import ResultCache
+
+        return ResultCache() if cache_enabled() else None
+    if cache is False:
+        return None
+    return cache
+
+
+def _execute(cells: Sequence[Cell], n_jobs: int,
+             progress: Optional[ProgressFn],
+             worker: Callable[[Cell], object]) -> List[object]:
     if n_jobs <= 1 or len(cells) <= 1:
         return _run_serial(cells, progress, worker)
     try:
@@ -146,7 +209,12 @@ def _run_serial(cells: Sequence[Cell], progress: Optional[ProgressFn],
     start = time.perf_counter()
     results: List[object] = []
     for index, cell in enumerate(cells):
-        results.append(worker(cell))
+        try:
+            results.append(worker(cell))
+        except Exception:
+            # Same attribution as the pool path: name the failing cell.
+            print(f"repro: cell {cell.label!r} failed", file=sys.stderr)
+            raise
         if progress is not None:
             progress(index + 1, len(cells), cell.label,
                      time.perf_counter() - start)

@@ -78,7 +78,7 @@ def _max_rss_kb() -> int:
     return int(rss)
 
 
-def _spec_cell(spec: BenchSpec, reps: int) -> Cell:
+def _spec_cell(spec: BenchSpec, reps: int, use_cache: bool = False) -> Cell:
     """Encode a spec as a picklable parallel Cell for the bench worker."""
     from repro.analysis.experiments import ExperimentConfig
     from repro.cli import policy_from_name
@@ -86,7 +86,8 @@ def _spec_cell(spec: BenchSpec, reps: int) -> Cell:
     exp = ExperimentConfig(n_clusters=spec.n_clusters, scale=spec.scale,
                            track_data=spec.track_data)
     return Cell.make(spec.workload, policy_from_name(spec.policy), exp,
-                     label=spec.key, _bench_reps=reps)
+                     label=spec.key, _bench_reps=reps,
+                     _bench_cache=use_cache)
 
 
 def _bench_cell(cell: Cell) -> Dict[str, object]:
@@ -97,24 +98,55 @@ def _bench_cell(cell: Cell) -> Dict[str, object]:
     repetitions is reported. RSS is the worker process's peak, which is
     per-cell when cells run in a pool and cumulative when run serially
     in one process -- compare RSS between runs of the same ``--jobs``.
+
+    By default the reuse layer is forced OFF for the measured region,
+    whatever ``REPRO_CACHE`` says -- wall times must measure the
+    simulation, not a disk read. With ``--cache`` the worker instead
+    consults the result cache first (a hit times the fetch; a miss
+    times the cached-mode simulation and stores the result); the cell's
+    ``cache`` field records which happened: ``hit``/``miss``/
+    ``bypassed``.
     """
+    import os
+
     from repro.analysis.experiments import run_workload
     from repro.obs import stats_metrics
 
     extra = dict(cell.config_extra)
     reps = int(extra.pop("_bench_reps", 1))
+    use_cache = bool(extra.pop("_bench_cache", False))
+    status = "bypassed"
+    rcache = bare = None
+    if use_cache:
+        from repro.analysis.parallel import Cell as _Cell
+        from repro.cache.results import ResultCache
+
+        rcache = ResultCache()
+        bare = _Cell(cell.workload, cell.policy, cell.exp,
+                     cell.force_hw_data, tuple(sorted(extra.items())),
+                     cell.label)
     wall = cpu = None
     stats = None
+    old_cache = os.environ.get("REPRO_CACHE")
+    if not use_cache:
+        os.environ["REPRO_CACHE"] = "0"
     gc_was_enabled = gc.isenabled()
     gc.disable()
     try:
         for _rep in range(reps):
+            stats = None  # every rep re-measures from scratch
             wall0 = time.perf_counter()
             cpu0 = time.process_time()
-            stats, _machine = run_workload(cell.workload, cell.policy,
-                                           cell.exp,
-                                           force_hw_data=cell.force_hw_data,
-                                           **extra)
+            if rcache is not None:
+                stats = rcache.get(bare)
+            if stats is None:
+                stats, _machine = run_workload(
+                    cell.workload, cell.policy, cell.exp,
+                    force_hw_data=cell.force_hw_data, **extra)
+                if use_cache:
+                    status = "miss"
+            else:
+                status = "hit"
             wall1 = time.perf_counter() - wall0
             cpu1 = time.process_time() - cpu0
             wall = wall1 if wall is None else min(wall, wall1)
@@ -123,9 +155,17 @@ def _bench_cell(cell: Cell) -> Dict[str, object]:
     finally:
         if gc_was_enabled:
             gc.enable()
+        if not use_cache:
+            if old_cache is None:
+                os.environ.pop("REPRO_CACHE", None)
+            else:
+                os.environ["REPRO_CACHE"] = old_cache
+    if status == "miss":
+        rcache.put(bare, stats)
     return {
         "wall_s": round(wall, 6),
         "cpu_s": round(cpu, 6),
+        "cache": status,
         "cycles": stats.cycles,
         "ops": stats.ops_executed,
         "tasks": stats.tasks_executed,
@@ -141,14 +181,22 @@ def _bench_cell(cell: Cell) -> Dict[str, object]:
 
 def run_bench(specs: Optional[Sequence[BenchSpec]] = None, reps: int = 1,
               jobs: Optional[int] = None,
-              progress: Optional[ProgressFn] = None) -> Dict[str, object]:
-    """Run the matrix and return the full schema-versioned document."""
+              progress: Optional[ProgressFn] = None,
+              use_cache: bool = False) -> Dict[str, object]:
+    """Run the matrix and return the full schema-versioned document.
+
+    ``use_cache=False`` (the default) forces the reuse layer off inside
+    the measured region so wall times stay honest; ``use_cache=True``
+    lets hits be served (and timed) from the result cache, recording
+    per-cell statuses and a document-level hit rate so cached and
+    uncached runs can never be silently compared.
+    """
     specs = list(PINNED_MATRIX if specs is None else specs)
     if not specs:
         raise SimulationError("no cells selected")
     if reps < 1:
         raise SimulationError(f"reps must be >= 1; got {reps}")
-    cells = [_spec_cell(spec, reps) for spec in specs]
+    cells = [_spec_cell(spec, reps, use_cache) for spec in specs]
     results = run_cells(cells, jobs=jobs, progress=progress,
                         worker=_bench_cell)
     doc: Dict[str, object] = {
@@ -159,8 +207,12 @@ def run_bench(specs: Optional[Sequence[BenchSpec]] = None, reps: int = 1,
         "platform": platform.platform(),
         "jobs": min(resolve_jobs(jobs), len(specs)),
         "reps": reps,
+        "cache": bool(use_cache),
         "cells": {},
     }
+    if use_cache:
+        hits = sum(1 for m in results if m.get("cache") == "hit")
+        doc["cache_hit_rate"] = round(hits / len(results), 4)
     cells_out: Dict[str, Dict[str, object]] = doc["cells"]  # type: ignore
     for spec, measured in zip(specs, results):
         entry = {

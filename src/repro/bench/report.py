@@ -86,6 +86,13 @@ def compare_runs(old: dict, new: dict,
         raise BenchDocError(f"threshold must be positive; got {threshold}")
     old_cells = check_doc(old, "reference run")
     new_cells = check_doc(new, "new run")
+    # Older documents predate the flag; absent means the cache did not
+    # exist, which is the same measurement as bypassed.
+    if bool(old.get("cache", False)) != bool(new.get("cache", False)):
+        raise BenchDocError(
+            "one run used the result cache and the other did not -- "
+            "cached wall times measure a disk read, not the simulation, "
+            "so the two runs are not comparable (rerun without --cache)")
     shared = [key for key in old_cells if key in new_cells]
     if not shared:
         raise BenchDocError("reference and new runs share no cell keys")
@@ -125,26 +132,38 @@ def format_compare_table(result: CompareResult) -> str:
 def format_bench_table(doc: dict) -> str:
     """Human-readable table for one run."""
     cells = check_doc(doc)
+    cached = bool(doc.get("cache", False))
+    headers = ["cell", "wall s", "cpu s", "ops/s", "tasks/s", "cycles",
+               "rss kB"]
+    if cached:
+        headers.append("cache")
     rows = []
     for key, cell in cells.items():
-        rows.append([key, cell["wall_s"], cell["cpu_s"],
-                     cell.get("ops_per_sec", 0), cell.get("tasks_per_sec", 0),
-                     cell.get("cycles", 0), cell.get("max_rss_kb", 0)])
+        row = [key, cell["wall_s"], cell["cpu_s"],
+               cell.get("ops_per_sec", 0), cell.get("tasks_per_sec", 0),
+               cell.get("cycles", 0), cell.get("max_rss_kb", 0)]
+        if cached:
+            row.append(cell.get("cache", "?"))
+        rows.append(row)
     title = (f"repro bench (schema {doc['schema']}, jobs {doc.get('jobs')}, "
              f"reps {doc.get('reps')}, {doc.get('created', '?')})")
-    return format_table(
-        ["cell", "wall s", "cpu s", "ops/s", "tasks/s", "cycles", "rss kB"],
-        rows, title=title)
+    if cached:
+        title += (f" [result cache ON, "
+                  f"hit rate {doc.get('cache_hit_rate', 0.0):.0%}]")
+    return format_table(headers, rows, title=title)
 
 
 def summary_markdown(doc: dict,
                      compare: Optional[CompareResult] = None) -> str:
     """Markdown fragment for CI step summaries."""
     cells = check_doc(doc)
+    cached = (f", result cache ON "
+              f"(hit rate {doc.get('cache_hit_rate', 0.0):.0%})"
+              if doc.get("cache") else "")
     lines = ["### repro bench",
              "",
              f"{len(cells)} cell(s), jobs={doc.get('jobs')}, "
-             f"reps={doc.get('reps')}, python {doc.get('python')}",
+             f"reps={doc.get('reps')}, python {doc.get('python')}{cached}",
              "",
              "| cell | wall s | ops/s | cycles |",
              "| --- | ---: | ---: | ---: |"]

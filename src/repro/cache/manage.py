@@ -1,0 +1,116 @@
+"""Inspection and maintenance of the on-disk caches (``repro cache``)."""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import pickle
+import shutil
+from typing import List, Optional
+
+from repro.cache.keys import cache_enabled, cache_root, digest
+from repro.cache.results import RESULT_SCHEMA, decode_stats
+from repro.runtime.program import FROZEN_FORMAT, FrozenProgram
+
+_LEVELS = ("results", "programs")
+
+
+def _root(root) -> pathlib.Path:
+    return pathlib.Path(root) if root is not None else cache_root()
+
+
+def _files(directory: pathlib.Path) -> List[pathlib.Path]:
+    if not directory.is_dir():
+        return []
+    return sorted(p for p in directory.rglob("*") if p.is_file())
+
+
+def cache_report(root=None) -> dict:
+    """Entry counts and byte totals per cache level."""
+    root = _root(root)
+    report = {"root": str(root), "enabled": cache_enabled()}
+    for level in _LEVELS:
+        files = _files(root / level)
+        report[level] = {"entries": len(files),
+                         "bytes": sum(p.stat().st_size for p in files)}
+    return report
+
+
+def clear_cache(root=None) -> int:
+    """Remove both cache levels; returns the number of files removed.
+
+    Only the ``results/`` and ``programs/`` subtrees are deleted --
+    never the root itself, which the user may have pointed at a shared
+    directory via ``REPRO_CACHE_DIR``.
+    """
+    root = _root(root)
+    removed = 0
+    for level in _LEVELS:
+        directory = root / level
+        removed += len(_files(directory))
+        if directory.is_dir():
+            shutil.rmtree(directory)
+    return removed
+
+
+def _verify_result(path: pathlib.Path) -> Optional[str]:
+    try:
+        entry = json.loads(path.read_text())
+    except (OSError, ValueError) as err:
+        return f"unreadable JSON ({err})"
+    if not isinstance(entry, dict) or entry.get("schema") != RESULT_SCHEMA:
+        return f"schema is not {RESULT_SCHEMA}"
+    if "key" not in entry:
+        return "missing key"
+    if digest(entry["key"]) != path.stem:
+        return "content digest does not match filename"
+    try:
+        stats = decode_stats(entry)
+    except Exception as err:
+        return f"stats do not decode ({err})"
+    if stats.as_dict() != entry["stats"]:
+        return "stats do not round-trip"
+    return None
+
+
+def _verify_program(path: pathlib.Path) -> Optional[str]:
+    try:
+        with open(path, "rb") as fh:
+            payload = pickle.load(fh)
+    except Exception as err:
+        return f"unreadable pickle ({err})"
+    if not isinstance(payload, dict) or payload.get("schema") is None:
+        return "missing schema"
+    if "key" not in payload:
+        return "missing key"
+    if digest(payload["key"]) != path.stem:
+        return "content digest does not match filename"
+    frozen = payload.get("frozen")
+    if not isinstance(frozen, FrozenProgram):
+        return "payload is not a FrozenProgram"
+    if frozen.format != FROZEN_FORMAT:
+        return f"frozen format {frozen.format} is not {FROZEN_FORMAT}"
+    return None
+
+
+def verify_cache(root=None) -> List[str]:
+    """Audit every entry; returns problem descriptions (empty = clean).
+
+    Stray files (leftover ``.tmp*`` from an interrupted write, anything
+    not named ``<digest>.<json|pkl>``) are reported too -- the caches
+    never *read* them, but ``verify`` exists to notice debris.
+    """
+    root = _root(root)
+    problems: List[str] = []
+    checkers = {"results": (".json", _verify_result),
+                "programs": (".pkl", _verify_program)}
+    for level, (suffix, check) in checkers.items():
+        for path in _files(root / level):
+            rel = path.relative_to(root)
+            if path.suffix != suffix:
+                problems.append(f"{rel}: stray file")
+                continue
+            problem = check(path)
+            if problem is not None:
+                problems.append(f"{rel}: {problem}")
+    return problems

@@ -1,0 +1,39 @@
+"""Source-tree fingerprint: one hash over every ``src/repro`` module.
+
+Both cache levels embed this hash in their keys, so *any* source change
+-- a new fast path, a retuned latency, a fixed counter -- invalidates
+every cached entry at once. That blanket rule is what makes it safe to
+default the caches on: an entry can only ever be replayed by the exact
+code that produced it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import pathlib
+from typing import Optional
+
+
+def tree_hash(root) -> str:
+    """SHA-256 over the relative path and bytes of every ``*.py`` file."""
+    root = pathlib.Path(root)
+    digest = hashlib.sha256()
+    for path in sorted(root.rglob("*.py")):
+        digest.update(path.relative_to(root).as_posix().encode())
+        digest.update(b"\0")
+        digest.update(path.read_bytes())
+        digest.update(b"\0")
+    return digest.hexdigest()
+
+
+_cached: Optional[str] = None
+
+
+def source_tree_hash() -> str:
+    """The (per-process memoized) hash of the installed ``repro`` tree."""
+    global _cached
+    if _cached is None:
+        import repro
+
+        _cached = tree_hash(pathlib.Path(repro.__file__).resolve().parent)
+    return _cached

@@ -118,6 +118,21 @@ def _progress_from_args(args, prefix: str):
     return None if args.quiet else stderr_progress(prefix)
 
 
+def _report_cache_stats(prefix: str) -> None:
+    """One stderr line of result-cache accounting after a sweep.
+
+    Printed only when the cache was actually consulted, so cache-off
+    runs see no new output. CI's warm-cache step parses this line.
+    """
+    from repro.cache import RESULT_STATS, cache_enabled
+
+    if not cache_enabled() or not RESULT_STATS.lookups:
+        return
+    print(f"{prefix}: cell cache: hits={RESULT_STATS.hits} "
+          f"misses={RESULT_STATS.misses} ({RESULT_STATS.hit_rate:.0%})",
+          file=sys.stderr)
+
+
 # -- commands ----------------------------------------------------------------
 
 def cmd_run(args) -> int:
@@ -390,6 +405,7 @@ def cmd_compare(args) -> int:
     print(format_table(
         ["config", "cycles", "vs SWcc", "avg dir entries"], perf_rows,
         title="runtime and directory pressure"))
+    _report_cache_stats("compare")
     return 0
 
 
@@ -405,6 +421,7 @@ def cmd_sweep(args) -> int:
     print(format_table(["config"] + [str(s) for s in sizes], rows,
                        title=f"{args.workload}: slowdown vs directory "
                              "entries/bank (normalized to infinite)"))
+    _report_cache_stats("sweep")
     return 0
 
 
@@ -537,6 +554,37 @@ def cmd_figures(args) -> int:
                  results[n]["Cohesion"]] for n in ALL_WORKLOADS]
         publish("ablation", format_table(
             ["benchmark", "HWcc", "stack-only", "Cohesion"], rows))
+    _report_cache_stats("figures")
+    return 0
+
+
+def cmd_cache(args) -> int:
+    from repro.cache import cache_report, clear_cache, verify_cache
+
+    if args.action == "clear":
+        removed = clear_cache(args.dir)
+        print(f"cache: removed {removed} file(s)")
+        return 0
+    if args.action == "verify":
+        problems = verify_cache(args.dir)
+        if args.json:
+            import json
+            print(json.dumps({"problems": problems}, indent=2))
+        else:
+            for problem in problems:
+                print(f"cache: {problem}")
+            print(f"cache verify: {len(problems)} problem(s)")
+        return 1 if problems else 0
+    report = cache_report(args.dir)
+    if args.json:
+        import json
+        print(json.dumps(report, indent=2))
+        return 0
+    rows = [[level, report[level]["entries"], report[level]["bytes"]]
+            for level in ("results", "programs")]
+    print(format_table(["level", "entries", "bytes"], rows,
+                       title=f"experiment cache at {report['root']} "
+                             f"({'enabled' if report['enabled'] else 'OFF'})"))
     return 0
 
 
@@ -560,7 +608,8 @@ def cmd_bench(args) -> int:
     try:
         specs = select_specs(args.cells)
         doc = run_bench(specs, reps=args.reps, jobs=args.jobs,
-                        progress=_progress_from_args(args, "bench"))
+                        progress=_progress_from_args(args, "bench"),
+                        use_cache=args.cache)
     except SimulationError as err:
         print(f"bench: {err}", file=sys.stderr)
         return 2
@@ -732,8 +781,26 @@ def build_parser() -> argparse.ArgumentParser:
                          help="append a markdown summary (for CI)")
     p_bench.add_argument("--list-cells", action="store_true",
                          help="list the pinned matrix and exit")
+    p_bench.add_argument("--cache", action="store_true",
+                         help="serve hits from the result cache (times the "
+                              "fetch, not the simulation; recorded in the "
+                              "JSON so runs stay comparable)")
     _add_jobs_args(p_bench)
     p_bench.set_defaults(func=cmd_bench)
+
+    p_cache = sub.add_parser(
+        "cache", help="inspect the build-once/run-many reuse caches")
+    p_cache.add_argument("action", choices=("stats", "clear", "verify"),
+                         nargs="?", default="stats",
+                         help="stats (default): entry counts and sizes; "
+                              "clear: delete both cache levels; "
+                              "verify: audit every entry")
+    p_cache.add_argument("--dir", default=None, metavar="DIR",
+                         help="cache root (default: $REPRO_CACHE_DIR or "
+                              "~/.cache/repro)")
+    p_cache.add_argument("--json", action="store_true",
+                         help="machine-readable output")
+    p_cache.set_defaults(func=cmd_cache)
 
     p_area = sub.add_parser("area", help="Section 4.4 area estimates")
     p_area.set_defaults(func=cmd_area)

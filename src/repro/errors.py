@@ -52,3 +52,20 @@ class CoherenceRaceError(ReproError):
 
 class SimulationError(ReproError):
     """The simulation engine reached an impossible state (e.g. deadlock)."""
+
+
+class FreezeError(ReproError):
+    """A :class:`~repro.runtime.program.Program` cannot be frozen.
+
+    Raised when the program carries state that has no compact on-disk
+    form -- currently only ``Phase.after`` host callbacks, which are
+    arbitrary Python callables."""
+
+
+class StaleArtifactError(ReproError):
+    """A cached program artifact no longer matches the live machine.
+
+    Replaying the artifact's allocation log produced different addresses
+    than the ones recorded at build time. The caller must discard the
+    artifact and rebuild from source on a *fresh* machine (the failed
+    replay may have part-allocated this one)."""

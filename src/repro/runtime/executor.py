@@ -27,7 +27,7 @@ from repro.errors import SimulationError
 from repro.mem.address import (LINE_BYTES, LINE_SHIFT, WORD_SHIFT,
                                WORDS_PER_LINE)
 from repro.obs.bus import EV_BARRIER, EV_IFETCH, EV_LOAD, ObsEvent
-from repro.runtime.program import Phase, Program
+from repro.runtime.program import FrozenPhase, freeze_phase
 from repro.sim.stats import RunStats, collect_stats
 from repro.types import (OP_ATOMIC, OP_BARRIER, OP_COMPUTE, OP_IFETCH,
                          OP_INV, OP_LOAD, OP_STORE, OP_WB)
@@ -56,9 +56,18 @@ class _CoreState:
 
 
 class BspExecutor:
-    """Runs one :class:`~repro.runtime.program.Program` to completion."""
+    """Runs one :class:`~repro.runtime.program.Program` to completion.
 
-    def __init__(self, machine, program: Program, ops_per_slice: int = 8) -> None:
+    Accepts either a plain :class:`Program` or the compact
+    :class:`~repro.runtime.program.FrozenProgram` form. Plain phases are
+    compiled with :func:`~repro.runtime.program.freeze_phase` at run
+    time (so a phase mutated after construction executes as mutated);
+    frozen phases are consumed directly -- each task's flush WBs were
+    fused into the flat op array once at freeze time, so dequeuing a
+    task is a prefix copy, the live stack block, and one slice.
+    """
+
+    def __init__(self, machine, program, ops_per_slice: int = 8) -> None:
         if ops_per_slice <= 0:
             raise SimulationError("ops_per_slice must be positive")
         self.machine = machine
@@ -86,6 +95,8 @@ class BspExecutor:
     def run(self) -> RunStats:
         machine = self.machine
         for phase in self.program.phases:
+            if not isinstance(phase, FrozenPhase):
+                phase = freeze_phase(phase, keep_after=True)
             self._run_phase(phase)
         end = max(machine.core_clocks) if machine.core_clocks else 0.0
         stats = collect_stats(machine, end)
@@ -96,12 +107,16 @@ class BspExecutor:
         return stats
 
     # -- phase machinery ------------------------------------------------------
-    def _run_phase(self, phase: Phase) -> None:
+    def _run_phase(self, phase: FrozenPhase) -> None:
         machine = self.machine
         n_cores = machine.config.n_cores
         per_cluster = machine.config.cores_per_cluster
-        tasks = phase.tasks
-        n_tasks = len(tasks)
+        flat_ops = phase.ops
+        bounds = phase.bounds
+        input_lines = phase.input_lines
+        stack_words = phase.stack_words
+        n_tasks = phase.n_tasks
+        prefix = self._code_prefix_for(phase.code_addr, phase.code_lines)
         head = 0
         states = [_CoreState() for _ in range(n_cores)]
         heap = [(machine.core_clocks[core], core) for core in range(n_cores)]
@@ -126,12 +141,15 @@ class BspExecutor:
                     arrivals.append(now)
                     continue
                 if head < n_tasks:
-                    task = tasks[head]
                     now = self._dequeue(cluster, local, core, head, now)
-                    head += 1
-                    state.ops = self._task_ops(phase, task, core)
+                    ops = list(prefix)
+                    if stack_words[head]:
+                        ops.extend(self._stack_block(core, stack_words[head]))
+                    ops.extend(flat_ops[bounds[head]:bounds[head + 1]])
+                    state.ops = ops
                     state.ip = 0
-                    state.inputs.update(task.input_lines)
+                    state.inputs.update(input_lines[head])
+                    head += 1
                     self.tasks_executed += 1
                 else:
                     state.ops = self._barrier_ops(state)
@@ -169,29 +187,34 @@ class BspExecutor:
         now, _value = cluster.load(local, desc + 4, now)
         return now
 
-    def _task_ops(self, phase: Phase, task, core: int) -> List[tuple]:
-        """Assemble the full op stream for one task on one core."""
-        machine = self.machine
-        layout = machine.layout
-        key = (phase.code_addr, phase.code_lines)
+    def _code_prefix_for(self, code_addr: int, code_lines: int) -> List[tuple]:
+        """The shared ifetch prefix for one (code_addr, code_lines)."""
+        key = (code_addr, code_lines)
         prefix = self._code_prefix.get(key)
         if prefix is None:
-            prefix = [(OP_IFETCH, phase.code_addr + LINE_BYTES * i)
-                      for i in range(phase.code_lines)]
+            prefix = [(OP_IFETCH, code_addr + LINE_BYTES * i)
+                      for i in range(code_lines)]
             self._code_prefix[key] = prefix
-        ops: List[tuple] = list(prefix)
-        if task.stack_words:
-            base, size = layout.stack_region(core)
-            state = self._stack_cursors
-            cursor = state[core]
-            for i in range(task.stack_words):
-                addr = base + ((cursor + 4 * i) % size) & ~3
-                ops.append((OP_STORE, addr))
-                ops.append((OP_LOAD, addr))
-            state[core] = (cursor + 4 * task.stack_words) % size
-        ops.extend(task.ops)
-        for line in task.flush_lines:
-            ops.append((OP_WB, line << LINE_SHIFT))
+        return prefix
+
+    def _stack_block(self, core: int, stack_words: int) -> List[tuple]:
+        """Stack-frame ops for one task: a store+load per touched word.
+
+        Every generated address must be a word-aligned offset *within*
+        the core's fixed stack region, so the wrap-around offset is
+        masked down to a word boundary before the region base is added
+        (masking the sum instead would also clear low bits of the base).
+        """
+        base, size = self.machine.layout.stack_region(core)
+        cursors = self._stack_cursors
+        cursor = cursors[core]
+        ops: List[tuple] = []
+        append = ops.append
+        for i in range(stack_words):
+            addr = base + (((cursor + 4 * i) % size) & ~3)
+            append((OP_STORE, addr))
+            append((OP_LOAD, addr))
+        cursors[core] = (cursor + 4 * stack_words) % size
         return ops
 
     def _barrier_ops(self, state: _CoreState) -> List[tuple]:

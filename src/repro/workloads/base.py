@@ -216,6 +216,10 @@ class Workload(abc.ABC):
         # keeps large op streams resident-cache-friendly and cuts the
         # build-time allocation churn.
         self._op_intern: Dict[tuple, tuple] = {}
+        # (kind, size, addr) per alloc() call, in call order -- the
+        # frozen-program allocation log (kind is the *effective* kind,
+        # after any force_hw_data override).
+        self._alloc_log: List[tuple] = []
 
     # -- entry point ------------------------------------------------------------
     def build(self, machine) -> Program:
@@ -226,6 +230,7 @@ class Workload(abc.ABC):
         self.shadow = {}
         self.expected = {}
         self._op_intern = {}
+        self._alloc_log = []
         self.code_addr = machine.layout.code_base
         program = self._build()
         program.expected = self.expected
@@ -258,6 +263,7 @@ class Workload(abc.ABC):
             addr = machine.api.malloc(size)
         else:
             raise ConfigError(f"unknown buffer kind {kind!r}")
+        self._alloc_log.append((kind, size, addr))
         buf = Buffer(name, addr, size, kind, inv_reads, inv_writes)
         if init is not None and self.track:
             backing = machine.memsys.backing

@@ -17,6 +17,14 @@ from repro.errors import SimulationError
 TINY = ExperimentConfig(n_clusters=2, scale=0.12)
 KERNELS = ("gjk", "mri")
 
+
+@pytest.fixture(autouse=True)
+def _cache_off(monkeypatch):
+    """These tests pin the *execution* paths (pool scheduling, failure
+    attribution, progress accounting), so the result cache must not
+    short-circuit any cell; tests/cache covers the cached paths."""
+    monkeypatch.setenv("REPRO_CACHE", "0")
+
 DRIVERS = [
     pytest.param(lambda jobs: run_message_breakdown(
         KERNELS, exp=TINY, jobs=jobs), id="message_breakdown"),

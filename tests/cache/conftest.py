@@ -1,0 +1,23 @@
+"""Fixtures for the reuse-layer tests: every test gets its own cache."""
+
+import pytest
+
+
+@pytest.fixture
+def cache_dir(tmp_path, monkeypatch):
+    """A private, enabled cache root, with global counters zeroed."""
+    from repro.cache import PROGRAM_STATS, RESULT_STATS
+
+    root = tmp_path / "cache"
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(root))
+    monkeypatch.delenv("REPRO_CACHE", raising=False)
+    RESULT_STATS.reset()
+    PROGRAM_STATS.reset()
+    return root
+
+
+@pytest.fixture
+def tiny_exp():
+    from repro.analysis.experiments import ExperimentConfig
+
+    return ExperimentConfig(n_clusters=2, scale=0.12)

@@ -5,6 +5,27 @@ import pytest
 from repro import Machine, MachineConfig, Policy
 
 
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_cache_dir(tmp_path_factory):
+    """Point the experiment cache at a per-session temp directory.
+
+    Keeps the suite from reading a developer's warm ``~/.cache/repro``
+    (which would mask regressions behind stale hits) and from leaving
+    test artifacts there. Individual cache tests override this with
+    their own directories or disable caching outright.
+    """
+    import os
+
+    root = tmp_path_factory.mktemp("repro-cache")
+    old = os.environ.get("REPRO_CACHE_DIR")
+    os.environ["REPRO_CACHE_DIR"] = str(root)
+    yield root
+    if old is None:
+        os.environ.pop("REPRO_CACHE_DIR", None)
+    else:
+        os.environ["REPRO_CACHE_DIR"] = old
+
+
 def small_config(n_clusters: int = 2, track_data: bool = True,
                  **overrides) -> MachineConfig:
     """A tiny machine for tests: 2 clusters (16 cores), data-tracking."""

@@ -161,3 +161,55 @@ class TestDeterminism:
             return (stats.cycles, stats.total_messages, stats.tasks_executed)
 
         assert run() == run()
+
+
+class TestStackAddressing:
+    """The stack block generates word-aligned offsets into the core's
+    stack region. Regression for an operator-precedence bug where
+    ``base + offset & ~3`` masked the whole sum: on any base whose low
+    bits are set, that rewrites addresses *below* the region."""
+
+    @staticmethod
+    def _executor(base, size):
+        from types import SimpleNamespace
+
+        from repro.runtime.executor import BspExecutor
+
+        machine = SimpleNamespace(
+            config=SimpleNamespace(track_data=False, n_cores=1),
+            runtime=SimpleNamespace(queue_addr=0, barrier_addr=0,
+                                    desc_base=0, desc_capacity=1),
+            layout=SimpleNamespace(stack_region=lambda core: (base, size)),
+            obs=None)
+        return BspExecutor(machine, Program("stub", []))
+
+    def test_misaligned_base_and_cursor_stay_in_region(self):
+        # Deliberately misaligned: real layouts are line-aligned, which
+        # is exactly why the precedence bug was invisible to them.
+        base, size = 0x1000_0002, 64
+        executor = self._executor(base, size)
+        executor._stack_cursors[0] = 6  # mid-word cursor, wraps below
+        ops = executor._stack_block(0, 20)  # 80 bytes > size: wraps
+        assert len(ops) == 40  # store+load per word
+        for _kind, addr in ops:
+            offset = addr - base
+            assert 0 <= offset < size, hex(addr)
+            assert offset % 4 == 0, hex(addr)
+
+    def test_cursor_advances_modulo_region(self):
+        executor = self._executor(0x1000_0000, 64)
+        executor._stack_block(0, 20)
+        assert executor._stack_cursors[0] == (4 * 20) % 64
+
+    def test_real_layout_addresses_classify_as_stack(self, hwcc_machine):
+        from repro.types import SegmentClass
+
+        layout = hwcc_machine.layout
+        from repro.runtime.executor import BspExecutor
+        ex = BspExecutor(hwcc_machine, simple_program(1))
+        core = 3
+        ex._stack_cursors[core] = 12
+        for _kind, addr in ex._stack_block(core, 8):
+            base, size = layout.stack_region(core)
+            assert base <= addr < base + size
+            assert layout.classify(addr) is SegmentClass.STACK

@@ -270,3 +270,56 @@ class TestFriendlyErrors:
         assert code == 2
         assert "REPRO_SCALE must be a positive number" in err
         assert "Traceback" not in err
+
+
+class TestCacheCommand:
+    @pytest.fixture(autouse=True)
+    def _own_cache(self, tmp_path, monkeypatch):
+        from repro.cache import RESULT_STATS
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        monkeypatch.delenv("REPRO_CACHE", raising=False)
+        RESULT_STATS.reset()  # process-global; earlier tests count too
+
+    def _populate(self):
+        assert main(["sweep", "--workload", "gjk", "--sizes", "256",
+                     "--clusters", "2", "--scale", "0.12", "--quiet"]) == 0
+
+    def test_stats_empty(self, capsys):
+        assert main(["cache"]) == 0
+        out = capsys.readouterr().out
+        assert "results" in out and "programs" in out
+
+    def test_stats_json(self, capsys):
+        import json
+        assert main(["cache", "stats", "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["enabled"] is True
+        assert report["results"]["entries"] == 0
+
+    def test_sweep_reports_cache_line(self, capsys):
+        self._populate()
+        err = capsys.readouterr().err
+        assert "sweep: cell cache: hits=0 misses=" in err
+        self._populate()
+        assert "hits=" in capsys.readouterr().err
+
+    def test_verify_clean_then_corrupt(self, tmp_path, capsys):
+        self._populate()
+        assert main(["cache", "verify"]) == 0
+        entry = next((tmp_path / "cache" / "results").rglob("*.json"))
+        entry.write_text("{broken")
+        assert main(["cache", "verify"]) == 1
+        assert "problem" in capsys.readouterr().out
+
+    def test_clear_removes_everything(self, tmp_path, capsys):
+        self._populate()
+        assert main(["cache", "clear"]) == 0
+        assert "removed" in capsys.readouterr().out
+        assert not (tmp_path / "cache" / "results").exists()
+        assert not (tmp_path / "cache" / "programs").exists()
+
+    def test_bad_repro_cache_is_usage_error(self, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_CACHE", "maybe")
+        assert main(["cache"]) == 2
+        assert "REPRO_CACHE" in capsys.readouterr().err
