@@ -1,0 +1,442 @@
+"""The analyzer's rule set: COH001..COH006 re-derived, COH007..COH010 new.
+
+The first six rules re-derive the ``repro lint`` verdicts from the
+analyzer's own bitmask IR -- independently enough that agreement between
+the two engines is a real cross-check (the acceptance gate diffs them
+finding-for-finding), but sharing each rule's ``diagnostic()`` factory
+so that when both engines agree on a site they report byte-identically.
+Iteration order deliberately mirrors the linter's (tasks in global
+(phase, task) order, lines sorted, COH004's flush set before its input
+set, the same per-rule truncation), so the sorted reports match even
+through stable-sort ties and the ``max_diagnostics_per_rule`` cut.
+
+The four new rules only make sense at whole-program scale:
+
+======  ======================  ========  ==============================
+id      name                    severity  finding
+======  ======================  ========  ==============================
+COH007  stale-read-window       error     cached load falls in a
+                                          cross-phase stale window left
+                                          by an un-invalidated copy
+COH008  redundant-writeback     warning   WB of an SWcc line the task
+                                          never stores (dynamically a
+                                          clean or absent-line WB)
+COH009  useless-invalidate      warning   INV of an SWcc line the task
+                                          never touches (its core holds
+                                          no copy to drop)
+COH010  unsafe-transition       error     scheduled ``to_hwcc`` while a
+                                          partial-valid or unflushed
+                                          copy may still be resident
+======  ======================  ========  ==============================
+
+COH007 is the reader-side dual of COH002: COH002 blames the task that
+caches without invalidating, COH007 blames each later cached load that
+the surviving copy endangers. A program is COH007-clean exactly when it
+is COH002-clean, so the two rules never disagree -- they attribute the
+same window to its two ends. COH008/COH009 are the static predictors of
+the dynamic waste counters (``clean_wb``/``wasted_wb``/``wasted_inv``)
+the crossval oracles measure. COH010 only fires when a *transition
+schedule* is supplied (the advisor's proposals, or an explicit plan):
+plain-program analysis never sees one, keeping kernel runs identical to
+``repro lint``.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, Iterator, Sequence, Set, Tuple
+
+from repro.analyze.ir import FULL_LINE_MASK, AnalysisIR
+from repro.lint.diagnostics import Diagnostic, Severity
+from repro.lint.model import DomainModel
+from repro.lint.rules import (coh001_missing_flush, coh002_missing_invalidate,
+                              coh003_intra_phase_race, coh004_domain_misuse,
+                              coh005_redundant_op, coh006_atomic_swcc)
+from repro.mem.address import LINE_SHIFT, WORD_SHIFT, line_of
+from repro.types import PolicyKind
+
+
+@dataclass(frozen=True)
+class Transition:
+    """One entry of a coherence-domain transition schedule: at the
+    barrier closing phase ``phase``, move ``[base, base+size)`` to the
+    named domain (``"to_hwcc"`` or ``"to_swcc"``)."""
+
+    phase: int
+    action: str
+    base: int
+    size: int
+
+
+@dataclass
+class AnalyzeContext:
+    """Everything an analyzer rule's ``check`` function receives."""
+
+    ir: AnalysisIR
+    domain: DomainModel
+    max_diagnostics_per_rule: int = 200
+    schedule: Sequence[Transition] = ()
+
+
+@dataclass(frozen=True)
+class AnalyzeRule:
+    """One whole-program check over the frozen-artifact IR."""
+
+    id: str
+    name: str
+    severity: Severity
+    summary: str
+    check: object  # Callable[[AnalyzeContext], Iterator[Diagnostic]]
+
+
+# -- COH001..COH006: independent re-derivations ---------------------------
+
+def check_coh001(ctx: AnalyzeContext) -> Iterator[Diagnostic]:
+    ir = ctx.ir
+    emitted = 0
+    for s in ir.tasks:
+        for line in sorted(s.stores):
+            if not ctx.domain.is_swcc(line):
+                continue
+            if line in s.flush_set:
+                continue
+            if not ir.consumed_after(line, s.phase):
+                continue
+            emitted += 1
+            if emitted > ctx.max_diagnostics_per_rule:
+                return
+            yield coh001_missing_flush.diagnostic(
+                s.phase, ir.phase_name(s.phase), s.task, line)
+
+
+def check_coh002(ctx: AnalyzeContext) -> Iterator[Diagnostic]:
+    ir = ctx.ir
+    emitted = 0
+    for s in ir.tasks:
+        for line in sorted(s.cached_lines):
+            if not ctx.domain.is_swcc(line):
+                continue
+            if line in s.input_set:
+                continue
+            if not ir.stale_window(line, s.phase):
+                continue
+            emitted += 1
+            if emitted > ctx.max_diagnostics_per_rule:
+                return
+            how = "loads" if line in s.loads else "stores to"
+            yield coh002_missing_invalidate.diagnostic(
+                s.phase, ir.phase_name(s.phase), s.task, line, how)
+
+
+def check_coh003(ctx: AnalyzeContext) -> Iterator[Diagnostic]:
+    ir = ctx.ir
+    by_phase: Dict[int, list] = {}
+    for s in ir.tasks:
+        by_phase.setdefault(s.phase, []).append(s)
+
+    emitted = 0
+    for p in sorted(by_phase):
+        storers: Dict[int, Set[int]] = {}
+        others: Dict[int, Set[Tuple[int, str]]] = {}
+        for s in by_phase[p]:
+            t = s.task
+            for line in s.stores:
+                for word in s.words_of(s.stores, line):
+                    storers.setdefault(word, set()).add(t)
+            for table, kind in ((s.loads, "load"), (s.atomics, "atomic")):
+                for line in table:
+                    for word in s.words_of(table, line):
+                        others.setdefault(word, set()).add((t, kind))
+
+        reported: Set[Tuple[int, int, int]] = set()
+        for word in sorted(storers):
+            writers = storers[word]
+            conflicts = []
+            if len(writers) > 1:
+                pair = sorted(writers)[:2]
+                conflicts.append((pair[0], pair[1], "store-store"))
+            for t, kind in sorted(others.get(word, ())):
+                if t not in writers:
+                    w = min(writers)
+                    conflicts.append((min(w, t), max(w, t), f"store-{kind}"))
+            for a, b, kind in conflicts:
+                line = word >> (LINE_SHIFT - WORD_SHIFT)
+                key = (line, a, b)
+                if key in reported:
+                    continue
+                reported.add(key)
+                emitted += 1
+                if emitted > ctx.max_diagnostics_per_rule:
+                    return
+                yield coh003_intra_phase_race.diagnostic(
+                    p, ir.phase_name(p), a, b, word, line, kind)
+
+
+def check_coh004(ctx: AnalyzeContext) -> Iterator[Diagnostic]:
+    ir = ctx.ir
+    emitted = 0
+    for s in ir.tasks:
+        for lines, what, field_ in ((s.flush_set, "flush (WB)",
+                                     "flush_lines"),
+                                    (s.input_set, "invalidate (INV)",
+                                     "input_lines")):
+            for line in sorted(lines):
+                if ctx.domain.is_swcc(line):
+                    continue
+                emitted += 1
+                if emitted > ctx.max_diagnostics_per_rule:
+                    return
+                yield coh004_domain_misuse.diagnostic(
+                    s.phase, ir.phase_name(s.phase), s.task, line, what,
+                    field_)
+
+
+def check_coh005(ctx: AnalyzeContext) -> Iterator[Diagnostic]:
+    ir = ctx.ir
+    emitted = 0
+    for s in ir.tasks:
+        for issued, what, field_ in ((s.flushes, "flushes", "flush_lines"),
+                                     (s.invalidates, "invalidates",
+                                      "input_lines")):
+            for line, count in sorted(Counter(issued).items()):
+                if count < 2:
+                    continue
+                emitted += 1
+                if emitted > ctx.max_diagnostics_per_rule:
+                    return
+                yield coh005_redundant_op.diagnostic(
+                    s.phase, ir.phase_name(s.phase), s.task, line, count,
+                    what, field_)
+
+
+def check_coh006(ctx: AnalyzeContext) -> Iterator[Diagnostic]:
+    if ctx.domain.kind is not PolicyKind.COHESION:
+        return
+    ir = ctx.ir
+    emitted = 0
+    for s in ir.tasks:
+        for line in sorted(s.atomics):
+            if not ctx.domain.is_swcc(line):
+                continue
+            emitted += 1
+            if emitted > ctx.max_diagnostics_per_rule:
+                return
+            yield coh006_atomic_swcc.diagnostic(
+                s.phase, ir.phase_name(s.phase), s.task, line)
+
+
+# -- COH007: cross-phase stale-read windows -------------------------------
+
+def coh007_diagnostic(phase: int, phase_name: str, task: int, line: int,
+                      cache_phase: int, write_phase: int) -> Diagnostic:
+    """The COH007 finding for one endangered (reader task, line) site."""
+    return Diagnostic(
+        rule="COH007", severity=Severity.ERROR,
+        phase=phase, phase_name=phase_name, task=task, line=line,
+        message=(f"cached load falls in a stale window: a task of phase "
+                 f"{cache_phase} caches the line without invalidating "
+                 f"and phase {write_phase} republishes it, so the "
+                 "scheduler may place this task on a core still holding "
+                 "the old value"),
+        hint=(f"add line {line:#x} to the input_lines of the phase-"
+              f"{cache_phase} task(s) that cache it"))
+
+
+def check_coh007(ctx: AnalyzeContext) -> Iterator[Diagnostic]:
+    ir = ctx.ir
+    # Phase bitmask, per line, of tasks that cache the line and never
+    # list it in input_lines -- the copies that survive their barrier.
+    unreleased: Dict[int, int] = {}
+    for s in ir.tasks:
+        bit = 1 << s.phase
+        for line in s.cached_lines:
+            if line not in s.input_set:
+                unreleased[line] = unreleased.get(line, 0) | bit
+
+    emitted = 0
+    for s in ir.tasks:
+        pr = s.phase
+        if pr < 2:
+            continue  # a window needs cache < write < read
+        for line in sorted(s.loads):
+            u = unreleased.get(line)
+            if not u:
+                continue
+            if not ctx.domain.is_swcc(line):
+                continue
+            first_cache = (u & -u).bit_length() - 1
+            if first_cache >= pr - 1:
+                continue
+            writes = (ir.store_mask.get(line, 0)
+                      | ir.atomic_mask.get(line, 0))
+            # Publications strictly between some unreleased copy and
+            # this read: a write phase w qualifies when first_cache < w
+            # < pr (any later unreleased copy only narrows the window).
+            window = writes & ((1 << pr) - 1) & ~((1 << (first_cache + 1))
+                                                  - 1)
+            if not window:
+                continue
+            write_phase = (window & -window).bit_length() - 1
+            emitted += 1
+            if emitted > ctx.max_diagnostics_per_rule:
+                return
+            yield coh007_diagnostic(pr, ir.phase_name(pr), s.task, line,
+                                    first_cache, write_phase)
+
+
+# -- COH008: redundant write-backs ----------------------------------------
+
+def coh008_diagnostic(phase: int, phase_name: str, task: int,
+                      line: int) -> Diagnostic:
+    """The COH008 finding for one (task, line) site."""
+    return Diagnostic(
+        rule="COH008", severity=Severity.WARNING,
+        phase=phase, phase_name=phase_name, task=task, line=line,
+        message=("task writes back an SWcc line it never stores; the WB "
+                 "finds a clean copy or no copy at all, so it is a "
+                 "wasted coherence instruction"),
+        hint=(f"drop line {line:#x} from the task's flush_lines, or "
+              "move the WB to the task that actually produces the "
+              "data"))
+
+
+def check_coh008(ctx: AnalyzeContext) -> Iterator[Diagnostic]:
+    ir = ctx.ir
+    emitted = 0
+    for s in ir.tasks:
+        for line in sorted(s.flush_set):
+            if not ctx.domain.is_swcc(line):
+                continue  # COH004's territory: WB of a hardware line
+            if line in s.stores:
+                continue
+            emitted += 1
+            if emitted > ctx.max_diagnostics_per_rule:
+                return
+            yield coh008_diagnostic(s.phase, ir.phase_name(s.phase),
+                                    s.task, line)
+
+
+# -- COH009: useless invalidates ------------------------------------------
+
+def coh009_diagnostic(phase: int, phase_name: str, task: int,
+                      line: int) -> Diagnostic:
+    """The COH009 finding for one (task, line) site."""
+    return Diagnostic(
+        rule="COH009", severity=Severity.WARNING,
+        phase=phase, phase_name=phase_name, task=task, line=line,
+        message=("task invalidates an SWcc line it never loads or "
+                 "stores; its core holds no copy to drop, so the INV is "
+                 "a wasted coherence instruction"),
+        hint=f"drop line {line:#x} from the task's input_lines")
+
+
+def check_coh009(ctx: AnalyzeContext) -> Iterator[Diagnostic]:
+    ir = ctx.ir
+    emitted = 0
+    for s in ir.tasks:
+        for line in sorted(s.input_set):
+            if not ctx.domain.is_swcc(line):
+                continue  # COH004's territory: INV of a hardware line
+            if line in s.loads or line in s.stores:
+                continue
+            emitted += 1
+            if emitted > ctx.max_diagnostics_per_rule:
+                return
+            yield coh009_diagnostic(s.phase, ir.phase_name(s.phase),
+                                    s.task, line)
+
+
+# -- COH010: unsafe domain transitions ------------------------------------
+
+def coh010_diagnostic(phase: int, phase_name: str, task: int, line: int,
+                      barrier: int, why: str) -> Diagnostic:
+    """The COH010 finding for one possibly-resident copy at a scheduled
+    transition; ``why`` is ``"unflushed-dirty"`` or ``"partial-valid"``."""
+    return Diagnostic(
+        rule="COH010", severity=Severity.ERROR,
+        phase=phase, phase_name=phase_name, task=task, line=line,
+        message=(f"to_hwcc scheduled at barrier {barrier} is unsafe: "
+                 f"this task may leave a {why} copy of the line "
+                 "resident, and the directory would start tracking the "
+                 "line assuming memory is its owner"),
+        hint=(f"flush and invalidate line {line:#x} (flush_lines + "
+              "input_lines) in every task that stores it before the "
+              "transition, or delay the transition"))
+
+
+def check_coh010(ctx: AnalyzeContext) -> Iterator[Diagnostic]:
+    ir = ctx.ir
+    emitted = 0
+    for tr in ctx.schedule:
+        if tr.action != "to_hwcc":
+            continue
+        lo = line_of(tr.base)
+        hi = line_of(tr.base + tr.size - 1)
+        for s in ir.tasks:
+            if s.phase > tr.phase:
+                continue
+            for line in sorted(s.stores):
+                if not lo <= line <= hi:
+                    continue
+                if not ctx.domain.is_swcc(line):
+                    continue  # already directory-tracked
+                if line not in s.flush_set:
+                    why = "unflushed-dirty"
+                elif (s.stores[line] != FULL_LINE_MASK
+                      and line not in s.loads
+                      and line not in s.input_set):
+                    # Store-allocated without a full-line fill: the copy
+                    # is valid only word-wise, which only the SWcc
+                    # per-word dirty masks can express.
+                    why = "partial-valid"
+                else:
+                    continue
+                emitted += 1
+                if emitted > ctx.max_diagnostics_per_rule:
+                    return
+                yield coh010_diagnostic(s.phase, ir.phase_name(s.phase),
+                                        s.task, line, tr.phase, why)
+
+
+def _registry() -> Dict[str, AnalyzeRule]:
+    shared = {
+        "COH001": (coh001_missing_flush.RULE, check_coh001),
+        "COH002": (coh002_missing_invalidate.RULE, check_coh002),
+        "COH003": (coh003_intra_phase_race.RULE, check_coh003),
+        "COH004": (coh004_domain_misuse.RULE, check_coh004),
+        "COH005": (coh005_redundant_op.RULE, check_coh005),
+        "COH006": (coh006_atomic_swcc.RULE, check_coh006),
+    }
+    rules = {
+        rule_id: AnalyzeRule(id=lint_rule.id, name=lint_rule.name,
+                             severity=lint_rule.severity,
+                             summary=lint_rule.summary, check=check)
+        for rule_id, (lint_rule, check) in shared.items()
+    }
+    rules["COH007"] = AnalyzeRule(
+        id="COH007", name="stale-read-window", severity=Severity.ERROR,
+        summary="cached load endangered by an un-invalidated earlier copy",
+        check=check_coh007)
+    rules["COH008"] = AnalyzeRule(
+        id="COH008", name="redundant-writeback", severity=Severity.WARNING,
+        summary="WB of an SWcc line the issuing task never stores",
+        check=check_coh008)
+    rules["COH009"] = AnalyzeRule(
+        id="COH009", name="useless-invalidate", severity=Severity.WARNING,
+        summary="INV of an SWcc line the issuing task never touches",
+        check=check_coh009)
+    rules["COH010"] = AnalyzeRule(
+        id="COH010", name="unsafe-transition", severity=Severity.ERROR,
+        summary="scheduled to_hwcc with a possibly-resident unsound copy",
+        check=check_coh010)
+    return rules
+
+
+ANALYZE_RULES: Dict[str, AnalyzeRule] = _registry()
+ANALYZE_RULE_IDS: Tuple[str, ...] = tuple(ANALYZE_RULES)
+
+__all__ = ["ANALYZE_RULES", "ANALYZE_RULE_IDS", "AnalyzeContext",
+           "AnalyzeRule", "Transition", "check_coh001", "check_coh002",
+           "check_coh003", "check_coh004", "check_coh005", "check_coh006",
+           "check_coh007", "check_coh008", "check_coh009", "check_coh010"]

@@ -1,0 +1,175 @@
+"""Drive the whole-program analyzer over one frozen artifact.
+
+:func:`analyze_frozen` is the core entry point: build the
+:class:`~repro.analyze.ir.AnalysisIR` from the artifact's flat op
+slices, resolve a boot-time :class:`~repro.lint.model.DomainModel`
+(from the address layout alone -- no machine), run the requested
+COH001..COH010 rules, and return an :class:`AnalysisReport` whose
+findings half is a plain :class:`~repro.lint.diagnostics.LintReport`
+sorted with the linter's shared key -- which is what lets the
+acceptance gate diff the two engines finding-for-finding.
+
+:func:`analyze_workload` wraps the pipeline for one named kernel: the
+program artifact comes from the two-level experiment cache when
+possible (a prior ``repro run``/``repro lint`` session's frozen build),
+otherwise the workload builds once and is frozen on the spot; either
+way the *analysis* consumes only the frozen form.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.analyze.ir import AnalysisIR
+from repro.analyze.rules import (ANALYZE_RULES, AnalyzeContext, AnalyzeRule,
+                                 Transition)
+from repro.lint.diagnostics import LintReport, diagnostic_sort_key
+from repro.lint.model import DomainModel
+from repro.runtime.program import FrozenProgram, Program
+from repro.types import PolicyKind
+
+
+@dataclass
+class AnalysisReport:
+    """Findings plus whole-program summary facts for one artifact."""
+
+    findings: LintReport
+    summary: Dict[str, object] = field(default_factory=dict)
+    advice: Optional[Dict[str, object]] = None
+
+    @property
+    def clean(self) -> bool:
+        return self.findings.clean
+
+    @property
+    def errors(self) -> List:
+        return self.findings.errors
+
+    @property
+    def warnings(self) -> List:
+        return self.findings.warnings
+
+    def format(self) -> str:
+        """Compiler-style listing, mirroring ``LintReport.format``."""
+        text = self.findings.format().replace("lint ", "analyze ", 1)
+        lines = [text]
+        if self.summary:
+            lines.append("summary: " + ", ".join(
+                f"{key}={value}" for key, value in self.summary.items()))
+        return "\n".join(lines)
+
+    def as_dict(self) -> Dict[str, object]:
+        payload = self.findings.as_dict()
+        payload["summary"] = dict(self.summary)
+        if self.advice is not None:
+            payload["advice"] = self.advice
+        return payload
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.as_dict(), indent=indent)
+
+
+def ensure_frozen(program) -> FrozenProgram:
+    """``program`` as a frozen artifact (freezing a plain Program)."""
+    if isinstance(program, FrozenProgram):
+        return program
+    if isinstance(program, Program):
+        return program.freeze()
+    raise TypeError(f"cannot analyze {type(program).__name__}")
+
+
+def analyze_frozen(frozen, kind: PolicyKind = PolicyKind.COHESION,
+                   domain: Optional[DomainModel] = None, layout=None,
+                   rules: Optional[Iterable[str]] = None,
+                   schedule: Sequence[Transition] = (),
+                   max_diagnostics_per_rule: int = 200) -> AnalysisReport:
+    """Statically analyze one frozen artifact, machine-free.
+
+    ``domain`` overrides the boot-time model resolved from ``layout``
+    (default layout when omitted). ``schedule`` is the transition plan
+    COH010 audits; plain analysis passes none and COH010 is vacuous.
+    """
+    frozen = ensure_frozen(frozen)
+    if domain is None:
+        domain = DomainModel.of_layout(kind, layout)
+    selected = _select_rules(rules)
+    ir = AnalysisIR.of_frozen(frozen)
+    ctx = AnalyzeContext(ir=ir, domain=domain,
+                         max_diagnostics_per_rule=max_diagnostics_per_rule,
+                         schedule=tuple(schedule))
+    findings = LintReport(program=frozen.name, policy=domain.kind.value,
+                          rules_run=[rule.id for rule in selected])
+    per_rule: Dict[str, int] = {}
+    for rule in selected:
+        produced = list(rule.check(ctx))
+        per_rule[rule.id] = len(produced)
+        findings.diagnostics.extend(produced)
+    findings.diagnostics.sort(key=diagnostic_sort_key)
+    if ir.has_after_hooks and domain.kind is PolicyKind.COHESION:
+        findings.notes.append(
+            "program has Phase.after hooks; if they re-map coherence "
+            "domains at runtime the static domain model only reflects the "
+            "boot-time region tables")
+    summary: Dict[str, object] = {
+        "phases": ir.n_phases,
+        "tasks": len(ir.tasks),
+        "ops": frozen.total_ops,
+        "lines": len(set(ir.load_mask) | set(ir.store_mask)
+                     | set(ir.atomic_mask)),
+    }
+    for rule_id, count in per_rule.items():
+        summary[rule_id] = count
+    summary["redundant_wb_sites"] = per_rule.get("COH008", 0)
+    summary["useless_inv_sites"] = per_rule.get("COH009", 0)
+    return AnalysisReport(findings=findings, summary=summary)
+
+
+def analyze_workload(name: str, policy=None, exp=None,
+                     rules: Optional[Iterable[str]] = None,
+                     schedule: Sequence[Transition] = (),
+                     advise: bool = False
+                     ) -> Tuple[AnalysisReport, FrozenProgram, "object"]:
+    """Obtain ``name``'s frozen artifact for ``policy`` and analyze it.
+
+    Returns ``(report, frozen, machine)``; the machine is only the
+    vehicle that produced the artifact (via the program cache when
+    enabled) -- the analysis itself reads nothing from it, resolving
+    domains from the address layout instead.
+    """
+    from repro.analysis.experiments import ExperimentConfig
+    from repro.cache.programs import build_program
+    from repro.config import Policy
+    from repro.sim.machine import Machine
+    from repro.workloads import get_workload
+
+    policy = policy or Policy.cohesion()
+    exp = exp or ExperimentConfig.from_env()
+    machine = Machine(exp.machine_config(), policy)
+    workload = get_workload(name, scale=exp.scale, seed=exp.seed)
+    program = build_program(name, workload, machine)
+    frozen = ensure_frozen(program)
+    if not frozen.alloc_log:
+        frozen.alloc_log = list(getattr(workload, "_alloc_log", ()))
+    report = analyze_frozen(frozen, kind=policy.kind, layout=machine.layout,
+                            rules=rules, schedule=schedule)
+    if advise:
+        from repro.analyze.advisor import advise_program
+
+        report.advice = advise_program(frozen, kind=policy.kind,
+                                       layout=machine.layout)
+    return report, frozen, machine
+
+
+def _select_rules(rules: Optional[Iterable[str]]) -> List[AnalyzeRule]:
+    if rules is None:
+        return list(ANALYZE_RULES.values())
+    selected = []
+    for rule_id in rules:
+        key = rule_id.upper()
+        if key not in ANALYZE_RULES:
+            known = ", ".join(ANALYZE_RULES)
+            raise KeyError(f"unknown analyze rule {rule_id!r}; known: {known}")
+        selected.append(ANALYZE_RULES[key])
+    return selected

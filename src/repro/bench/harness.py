@@ -163,6 +163,7 @@ def _bench_cell(cell: Cell) -> Dict[str, object]:
     if status == "miss":
         rcache.put(bare, stats)
     return {
+        "static_lint": _static_lint_counts(cell),
         "wall_s": round(wall, 6),
         "cpu_s": round(cpu, 6),
         "cache": status,
@@ -176,6 +177,30 @@ def _bench_cell(cell: Cell) -> Dict[str, object]:
         # measured cell is the same simulation the baseline measured);
         # compare_runs ignores unknown fields, so schema 1 still holds.
         "metrics": stats_metrics(stats),
+    }
+
+
+def _static_lint_counts(cell: Cell) -> Optional[Dict[str, int]]:
+    """The cell's static coherence-waste profile from ``repro analyze``.
+
+    Runs *outside* the timed region (the program build is served by the
+    artifact cache when enabled) and rides along in the bench document
+    so counter drift in redundant WBs / useless INVs (the COH008/COH009
+    waste classes) is visible next to the timing it would explain.
+    ``compare_runs`` ignores unknown fields, so schema 1 still holds.
+    """
+    try:
+        from repro.analyze import analyze_workload
+
+        report, _frozen, _machine = analyze_workload(
+            cell.workload, policy=cell.policy, exp=cell.exp)
+    except Exception:  # pragma: no cover - never fail a measurement
+        return None
+    return {
+        "redundant_wb_sites": int(report.summary["redundant_wb_sites"]),
+        "useless_inv_sites": int(report.summary["useless_inv_sites"]),
+        "errors": len(report.errors),
+        "warnings": len(report.warnings),
     }
 
 

@@ -23,7 +23,8 @@ from repro.cache.keys import (cache_enabled, cache_root, canonical,
                               canonical_json, digest)
 from repro.cache.manage import cache_report, clear_cache, verify_cache
 from repro.cache.programs import (PROGRAM_SCHEMA, PROGRAM_STATS, ProgramStore,
-                                  build_program, program_key)
+                                  build_program, dump_artifact, load_artifact,
+                                  program_key)
 from repro.cache.results import (RESULT_SCHEMA, RESULT_STATS, ResultCache,
                                  cell_key, decode_stats, encode_stats)
 
@@ -31,7 +32,7 @@ __all__ = [
     "cache_enabled", "cache_root", "canonical", "canonical_json", "digest",
     "cache_report", "clear_cache", "verify_cache",
     "PROGRAM_SCHEMA", "PROGRAM_STATS", "ProgramStore", "build_program",
-    "program_key",
+    "dump_artifact", "load_artifact", "program_key",
     "RESULT_SCHEMA", "RESULT_STATS", "ResultCache", "cell_key",
     "decode_stats", "encode_stats",
 ]

@@ -94,6 +94,45 @@ class ProgramStore:
         return True
 
 
+def load_artifact(path) -> FrozenProgram:
+    """Load one frozen-program artifact from an explicit file path.
+
+    Accepts both a bare pickled :class:`FrozenProgram` (as
+    :func:`dump_artifact` writes) and a :class:`ProgramStore` payload
+    dict, so ``repro analyze --artifact`` can be pointed straight at a
+    file under ``<cache>/programs/``. Unlike the store's forgiving
+    :meth:`ProgramStore.load`, an explicit path that cannot be used is
+    an error, not a miss.
+    """
+    from repro.errors import StaleArtifactError
+
+    try:
+        with open(path, "rb") as fh:
+            payload = pickle.load(fh)
+    except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
+            ImportError) as err:
+        raise StaleArtifactError(f"cannot read artifact {path}: {err}")
+    frozen = payload.get("frozen") if isinstance(payload, dict) else payload
+    if not isinstance(frozen, FrozenProgram):
+        raise StaleArtifactError(
+            f"artifact {path} does not contain a frozen program")
+    if frozen.format != FROZEN_FORMAT:
+        raise StaleArtifactError(
+            f"artifact {path} has frozen format {frozen.format}, "
+            f"this tree expects {FROZEN_FORMAT}")
+    return frozen
+
+
+def dump_artifact(frozen: FrozenProgram, path) -> None:
+    """Write one frozen program as a standalone artifact file."""
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(f"{path.name}.tmp{os.getpid()}")
+    with open(tmp, "wb") as fh:
+        pickle.dump(frozen, fh, protocol=pickle.HIGHEST_PROTOCOL)
+    os.replace(tmp, path)
+
+
 def build_program(name: str, workload, machine
                   ) -> Union[Program, FrozenProgram]:
     """Build ``workload`` on ``machine``, reusing a stored artifact.

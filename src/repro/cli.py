@@ -36,6 +36,7 @@ Commands
 from __future__ import annotations
 
 import argparse
+import os
 import pathlib
 import sys
 from typing import Optional, Sequence
@@ -283,6 +284,111 @@ def cmd_lint(args) -> int:
            for r in reports for d in r.diagnostics):
         return 2
     return 0
+
+
+def cmd_analyze(args) -> int:
+    import json
+
+    from repro.analyze import (Transition, advise_program, analyze_frozen,
+                               analyze_workload)
+    from repro.lint import Severity
+
+    rules = args.rules.split(",") if args.rules else None
+    schedule = ()
+    if args.schedule:
+        try:
+            with open(args.schedule) as fh:
+                entries = json.load(fh)
+            schedule = tuple(
+                Transition(phase=int(e["phase"]), action=str(e["action"]),
+                           base=int(e["base"]), size=int(e["size"]))
+                for e in entries)
+        except (OSError, ValueError, KeyError, TypeError) as err:
+            print(f"analyze: bad schedule file: {err}", file=sys.stderr)
+            return 2
+    if args.policy == "all":
+        policies = [("swcc", policy_from_name("swcc")),
+                    ("hwcc-ideal", policy_from_name("hwcc-ideal")),
+                    ("cohesion", policy_from_name("cohesion"))]
+    else:
+        policies = [(args.policy, policy_from_name(args.policy))]
+
+    reports = []
+    try:
+        if args.artifact:
+            from repro.cache import load_artifact
+
+            frozen = load_artifact(args.artifact)
+            for label, policy in policies:
+                report = analyze_frozen(frozen, kind=policy.kind,
+                                        rules=rules, schedule=schedule)
+                report.findings.policy = label
+                if args.advise:
+                    report.advice = advise_program(frozen, kind=policy.kind)
+                reports.append(report)
+        else:
+            exp = _experiment_from_args(args)
+            names = ALL_WORKLOADS if args.all else (args.workload,)
+            if names == (None,):
+                print("analyze: name a workload, pass --all, or point "
+                      "--artifact at a frozen program", file=sys.stderr)
+                return 2
+            for name in names:
+                for label, policy in policies:
+                    report, _frozen, _machine = analyze_workload(
+                        name, policy=policy, exp=exp, rules=rules,
+                        schedule=schedule, advise=args.advise)
+                    report.findings.policy = label
+                    reports.append(report)
+    except KeyError as err:
+        print(f"analyze: {err.args[0]}", file=sys.stderr)
+        return 2
+    except ReproError as err:
+        print(f"analyze: {err}", file=sys.stderr)
+        return 2
+
+    if args.advise_out:
+        document = [r.advice for r in reports if r.advice is not None]
+        out = pathlib.Path(args.advise_out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(json.dumps(document, indent=2) + "\n")
+        print(f"advice -> {out}", file=sys.stderr)
+    if args.summary:
+        _analyze_summary(reports, args.summary)
+    if args.json:
+        print(json.dumps([r.as_dict() for r in reports], indent=2))
+    else:
+        for report in reports:
+            print(report.format())
+            print()
+        total_e = sum(len(r.errors) for r in reports)
+        total_w = sum(len(r.warnings) for r in reports)
+        print(f"analyzed {len(reports)} artifact(s): "
+              f"{total_e} error(s), {total_w} warning(s)")
+    if any(r.errors for r in reports):
+        return 1
+    if any(d.severity is Severity.WARNING
+           for r in reports for d in r.findings.diagnostics):
+        return 2
+    return 0
+
+
+def _analyze_summary(reports, path: str) -> None:
+    """Append the CI step-summary table for one ``analyze`` run."""
+    lines = []
+    header_needed = not os.path.exists(path)
+    if header_needed:
+        lines.append("| program | policy | errors | warnings "
+                     "| redundant WB | useless INV |")
+        lines.append("|---|---|---:|---:|---:|---:|")
+    for r in reports:
+        lines.append(
+            f"| {r.findings.program} | {r.findings.policy} "
+            f"| {len(r.errors)} | {len(r.warnings)} "
+            f"| {r.summary.get('redundant_wb_sites', 0)} "
+            f"| {r.summary.get('useless_inv_sites', 0)} |")
+    with open(path, "a") as fh:
+        fh.write("\n".join(lines) + "\n")
 
 
 def cmd_mc(args) -> int:
@@ -710,6 +816,36 @@ def build_parser() -> argparse.ArgumentParser:
                         help="machine-readable output")
     _add_scale_args(p_lint)
     p_lint.set_defaults(func=cmd_lint)
+
+    p_an = sub.add_parser(
+        "analyze", help="whole-program static coherence analysis over "
+                        "frozen artifacts (COH001..COH010)")
+    p_an.add_argument("workload", nargs="?", choices=ALL_WORKLOADS,
+                      help="kernel to analyze")
+    p_an.add_argument("--all", action="store_true",
+                      help="analyze every shipped kernel")
+    p_an.add_argument("--artifact", default=None, metavar="FILE",
+                      help="analyze a frozen-program artifact file "
+                           "instead of building a workload (machine-free)")
+    p_an.add_argument("--policy", choices=POLICY_CHOICES + ("all",),
+                      default="all",
+                      help="design point(s) to resolve domains for "
+                           "(default: the three protocol kinds)")
+    p_an.add_argument("--rules", default=None,
+                      help="comma-separated rule ids (default: all)")
+    p_an.add_argument("--schedule", default=None, metavar="FILE",
+                      help="JSON transition schedule for COH010 "
+                           "([{phase, action, base, size}, ...])")
+    p_an.add_argument("--advise", action="store_true",
+                      help="emit per-region coherence-mode advice")
+    p_an.add_argument("--advise-out", default=None, metavar="FILE",
+                      help="write the advice documents as JSON")
+    p_an.add_argument("--summary", default=None, metavar="FILE",
+                      help="append a markdown summary table (for CI)")
+    p_an.add_argument("--json", action="store_true",
+                      help="machine-readable output")
+    _add_scale_args(p_an)
+    p_an.set_defaults(func=cmd_analyze)
 
     p_mc = sub.add_parser(
         "mc", help="exhaustive protocol model checker (real simulator)")

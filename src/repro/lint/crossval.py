@@ -68,12 +68,26 @@ class OracleRun:
         return bool(self.violations) or self.data_broken
 
     def confirms(self, diagnostic: Diagnostic) -> bool:
-        """Does this run's evidence bear out ``diagnostic``?"""
-        if diagnostic.rule in ("COH001", "COH002", "COH003"):
+        """Does this run's evidence bear out ``diagnostic``?
+
+        Correctness rules (COH001/002/003 and the analyzer's COH007
+        stale-window dual) are confirmed by broken data or an invariant
+        violation; efficiency rules by the matching waste counter:
+        redundant write-backs (COH008) surface as WBs that found nothing
+        dirty or nothing resident, useless invalidates (COH009) as INVs
+        that found the line already gone. COH010 is schedule-only --
+        it predicts what a *hypothetical* transition schedule would
+        break, so a run of the unmodified program cannot confirm it.
+        """
+        if diagnostic.rule in ("COH001", "COH002", "COH003", "COH007"):
             return self.protocol_broken
         if diagnostic.rule in ("COH004", "COH005"):
             return (self.wasted_wb > 0 or self.clean_wb > 0
                     or self.wasted_inv > 0)
+        if diagnostic.rule == "COH008":
+            return self.clean_wb > 0 or self.wasted_wb > 0
+        if diagnostic.rule == "COH009":
+            return self.wasted_inv > 0
         return False
 
 

@@ -74,6 +74,18 @@ class Diagnostic:
         }
 
 
+def diagnostic_sort_key(diag: "Diagnostic"):
+    """Deterministic report order shared by ``repro lint`` and ``repro
+    analyze``: primarily by line address, then rule id, then site, so
+    two engines that agree on findings also agree on the byte-exact
+    report (and JSON output stays usable as a CI golden file).
+    Diagnostics with no line anchor (line=None) sort first; ties beyond
+    the key keep their generation order (sorts are stable)."""
+    return (diag.line if diag.line is not None else -1, diag.rule,
+            diag.phase if diag.phase is not None else -1,
+            diag.task if diag.task is not None else -1)
+
+
 @dataclass
 class LintReport:
     """Everything one lint run produced for one program."""

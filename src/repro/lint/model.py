@@ -48,6 +48,38 @@ class DomainModel:
         ms = machine.memsys
         return cls(machine.policy.kind, coarse=ms.coarse, fine=ms.fine)
 
+    @classmethod
+    def of_layout(cls, kind: PolicyKind, layout=None) -> "DomainModel":
+        """Resolve boot-time domains from an address layout alone.
+
+        Rebuilds exactly the region-table state ``Runtime._boot_regions``
+        installs at application load -- the three standing coarse SWcc
+        regions (code, globals, stacks) and the fine table's default-SWcc
+        slice over the incoherent heap -- without constructing a machine.
+        This is what lets frozen artifacts be analysed in a process that
+        never builds the workload: allocation addresses are already baked
+        into the ops, and the shipped allocation paths never flip fine
+        bits away from the boot defaults (``coh_malloc`` carves from the
+        default-SWcc incoherent heap, ``malloc`` from the HWcc coherent
+        heap). Runtime ``to_hwcc``/``to_swcc`` transitions are *not*
+        modelled -- same caveat as linting against a freshly-booted
+        machine.
+        """
+        from repro.core.region_table import (CoarseRegionTable,
+                                             FineRegionTable)
+        from repro.runtime.layout import AddressLayout
+
+        if layout is None:
+            layout = AddressLayout()
+        coarse = CoarseRegionTable()
+        coarse.add(layout.code_base, layout.code_size, name="code")
+        coarse.add(layout.globals_base, layout.globals_size, name="globals")
+        coarse.add(layout.stack_base, layout.stacks_size, name="stacks")
+        fine = FineRegionTable(layout.fine_table_base)
+        fine.add_default_swcc_range(layout.incoherent_heap_base,
+                                    layout.incoherent_heap_size)
+        return cls(kind, coarse=coarse, fine=fine)
+
     def is_swcc(self, line: int) -> bool:
         if self.kind is PolicyKind.SWCC:
             return True
@@ -109,6 +141,49 @@ class ProgramIndex:
                 index.has_after_hooks = True
             for t, task in enumerate(phase.tasks):
                 index.tasks.append(index._index_task(p, t, task))
+        return index
+
+    @classmethod
+    def of_frozen(cls, frozen) -> "ProgramIndex":
+        """Index a :class:`~repro.runtime.program.FrozenProgram` without
+        thawing it.
+
+        Scans each task's *full* flat slice -- the fused eager-flush WBs
+        at the tail of the slice are indexed exactly like the inline WB
+        ops ``of_program`` sees followed by ``task.flush_lines``, so the
+        resulting :class:`TaskAccess` tables (including flush issue
+        order, which COH005 counts) are identical to indexing the thawed
+        program.
+        """
+        index = cls(frozen)
+        for p, phase in enumerate(frozen.phases):
+            if phase.after is not None:
+                index.has_after_hooks = True
+            for t in range(phase.n_tasks):
+                access = TaskAccess(phase=p, task=t)
+                for op in phase.ops[phase.bounds[t]:phase.bounds[t + 1]]:
+                    kind = op[0]
+                    if kind == OP_LOAD:
+                        access._touch(access.loads, op[1])
+                    elif kind == OP_STORE:
+                        access._touch(access.stores, op[1])
+                    elif kind == OP_ATOMIC:
+                        access._touch(access.atomics, op[1])
+                    elif kind == OP_WB:
+                        access.flushes.append(line_of(op[1]))
+                    elif kind == OP_INV:
+                        access.invalidates.append(line_of(op[1]))
+                    elif kind == OP_IFETCH:
+                        pass
+                access.invalidates.extend(phase.input_lines[t])
+                access.flush_set = set(access.flushes)
+                access.input_set = set(access.invalidates)
+                for table, phases in ((access.loads, index.load_phases),
+                                      (access.stores, index.store_phases),
+                                      (access.atomics, index.atomic_phases)):
+                    for line in table:
+                        phases.setdefault(line, set()).add(p)
+                index.tasks.append(access)
         return index
 
     def _index_task(self, p: int, t: int, task: Task) -> TaskAccess:

@@ -21,6 +21,21 @@ from repro.lint.model import LintContext
 from repro.lint.rules import Rule
 
 
+def diagnostic(phase: int, phase_name: str, task: int, line: int) -> Diagnostic:
+    """The COH001 finding for one (task, line) site -- shared by the
+    per-op linter and the frozen-artifact analyzer so both engines
+    report byte-identically."""
+    return Diagnostic(
+        rule=RULE.id, severity=RULE.severity,
+        phase=phase, phase_name=phase_name, task=task, line=line,
+        message=("task stores to SWcc line consumed in a later "
+                 "phase but never flushes it; the consumer can "
+                 "observe the pre-store value"),
+        hint=(f"add line {line:#x} to the task's flush_lines (the "
+              "eager task-end writeback of the Task-Centric "
+              "Memory Model)"))
+
+
 def check(ctx: LintContext) -> Iterator[Diagnostic]:
     index = ctx.index
     emitted = 0
@@ -35,16 +50,8 @@ def check(ctx: LintContext) -> Iterator[Diagnostic]:
             emitted += 1
             if emitted > ctx.max_diagnostics_per_rule:
                 return
-            yield Diagnostic(
-                rule=RULE.id, severity=RULE.severity,
-                phase=access.phase, phase_name=index.phase_name(access.phase),
-                task=access.task, line=line,
-                message=("task stores to SWcc line consumed in a later "
-                         "phase but never flushes it; the consumer can "
-                         "observe the pre-store value"),
-                hint=(f"add line {line:#x} to the task's flush_lines (the "
-                      "eager task-end writeback of the Task-Centric "
-                      "Memory Model)"))
+            yield diagnostic(access.phase, index.phase_name(access.phase),
+                             access.task, line)
 
 
 RULE = Rule(

@@ -26,6 +26,21 @@ from repro.lint.model import LintContext
 from repro.lint.rules import Rule
 
 
+def diagnostic(phase: int, phase_name: str, task: int, line: int,
+               how: str) -> Diagnostic:
+    """The COH002 finding for one (task, line) site; ``how`` is
+    ``"loads"`` or ``"stores to"``. Shared by linter and analyzer."""
+    return Diagnostic(
+        rule=RULE.id, severity=RULE.severity,
+        phase=phase, phase_name=phase_name, task=task, line=line,
+        message=(f"task {how} phase-variant SWcc line without "
+                 "listing it in input_lines; the cached copy goes "
+                 "stale when a later phase rewrites the line and is "
+                 "then re-read"),
+        hint=(f"add line {line:#x} to the task's input_lines so the "
+              "barrier's lazy invalidation drops the copy"))
+
+
 def check(ctx: LintContext) -> Iterator[Diagnostic]:
     index = ctx.index
     emitted = 0
@@ -44,16 +59,8 @@ def check(ctx: LintContext) -> Iterator[Diagnostic]:
             if emitted > ctx.max_diagnostics_per_rule:
                 return
             how = "loads" if line in access.loads else "stores to"
-            yield Diagnostic(
-                rule=RULE.id, severity=RULE.severity,
-                phase=access.phase, phase_name=index.phase_name(access.phase),
-                task=access.task, line=line,
-                message=(f"task {how} phase-variant SWcc line without "
-                         "listing it in input_lines; the cached copy goes "
-                         "stale when a later phase rewrites the line and is "
-                         "then re-read"),
-                hint=(f"add line {line:#x} to the task's input_lines so the "
-                      "barrier's lazy invalidation drops the copy"))
+            yield diagnostic(access.phase, index.phase_name(access.phase),
+                             access.task, line, how)
 
 
 RULE = Rule(

@@ -26,6 +26,24 @@ from repro.lint.rules import Rule
 from repro.mem.address import LINE_SHIFT, WORD_BYTES, WORD_SHIFT
 
 
+def diagnostic(phase: int, phase_name: str, a: int, b: int, word: int,
+               line: int, kind: str) -> Diagnostic:
+    """The COH003 finding for one conflicting task pair on one word;
+    ``kind`` is ``"store-store"``/``"store-load"``/``"store-atomic"``.
+    Shared by linter and analyzer."""
+    return Diagnostic(
+        rule=RULE.id, severity=RULE.severity,
+        phase=phase, phase_name=phase_name,
+        task=b, line=line,
+        message=(f"intra-phase race: tasks {a} and {b} both "
+                 f"touch word {word * WORD_BYTES:#x} with at "
+                 f"least one "
+                 f"non-atomic store ({kind}); no barrier orders "
+                 "them"),
+        hint=("split the conflicting accesses into separate "
+              "phases, or make the update an atomic"))
+
+
 def check(ctx: LintContext) -> Iterator[Diagnostic]:
     index = ctx.index
     by_phase: Dict[int, list] = {}
@@ -69,17 +87,8 @@ def check(ctx: LintContext) -> Iterator[Diagnostic]:
                 emitted += 1
                 if emitted > ctx.max_diagnostics_per_rule:
                     return
-                yield Diagnostic(
-                    rule=RULE.id, severity=RULE.severity,
-                    phase=p, phase_name=index.phase_name(p),
-                    task=b, line=line,
-                    message=(f"intra-phase race: tasks {a} and {b} both "
-                             f"touch word {word * WORD_BYTES:#x} with at "
-                             f"least one "
-                             f"non-atomic store ({kind}); no barrier orders "
-                             "them"),
-                    hint=("split the conflicting accesses into separate "
-                          "phases, or make the update an atomic"))
+                yield diagnostic(p, index.phase_name(p), a, b, word, line,
+                                 kind)
 
 
 RULE = Rule(

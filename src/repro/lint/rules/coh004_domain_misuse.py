@@ -21,6 +21,24 @@ from repro.lint.model import LintContext
 from repro.lint.rules import Rule
 
 
+def diagnostic(phase: int, phase_name: str, task: int, line: int,
+               what: str, field: str) -> Diagnostic:
+    """The COH004 finding for one (task, line) site; ``what``/``field``
+    are ``("flush (WB)", "flush_lines")`` or ``("invalidate (INV)",
+    "input_lines")``. Shared by linter and analyzer."""
+    return Diagnostic(
+        rule=RULE.id, severity=RULE.severity,
+        phase=phase, phase_name=phase_name, task=task, line=line,
+        message=(f"software {what} targets an HWcc-domain "
+                 "line; the directory already keeps it "
+                 "coherent, so the instruction is statically "
+                 "useless work"),
+        hint=(f"drop line {line:#x} from the task's {field}, "
+              "or move the data to the incoherent heap "
+              "(coh_malloc) if software management is "
+              "intended"))
+
+
 def check(ctx: LintContext) -> Iterator[Diagnostic]:
     index = ctx.index
     emitted = 0
@@ -35,19 +53,9 @@ def check(ctx: LintContext) -> Iterator[Diagnostic]:
                 emitted += 1
                 if emitted > ctx.max_diagnostics_per_rule:
                     return
-                yield Diagnostic(
-                    rule=RULE.id, severity=RULE.severity,
-                    phase=access.phase,
-                    phase_name=index.phase_name(access.phase),
-                    task=access.task, line=line,
-                    message=(f"software {what} targets an HWcc-domain "
-                             "line; the directory already keeps it "
-                             "coherent, so the instruction is statically "
-                             "useless work"),
-                    hint=(f"drop line {line:#x} from the task's {field}, "
-                          "or move the data to the incoherent heap "
-                          "(coh_malloc) if software management is "
-                          "intended"))
+                yield diagnostic(access.phase,
+                                 index.phase_name(access.phase),
+                                 access.task, line, what, field)
 
 
 RULE = Rule(

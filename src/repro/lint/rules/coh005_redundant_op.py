@@ -18,6 +18,20 @@ from repro.lint.model import LintContext
 from repro.lint.rules import Rule
 
 
+def diagnostic(phase: int, phase_name: str, task: int, line: int,
+               count: int, what: str, field: str) -> Diagnostic:
+    """The COH005 finding for one duplicated (task, line) site;
+    ``what``/``field`` are ``("flushes", "flush_lines")`` or
+    ``("invalidates", "input_lines")``. Shared by linter and analyzer."""
+    return Diagnostic(
+        rule=RULE.id, severity=RULE.severity,
+        phase=phase, phase_name=phase_name, task=task, line=line,
+        message=(f"task {what} line {count} times; every "
+                 "repeat after the first is a wasted "
+                 "coherence instruction"),
+        hint=f"deduplicate the task's {field}")
+
+
 def check(ctx: LintContext) -> Iterator[Diagnostic]:
     index = ctx.index
     emitted = 0
@@ -31,15 +45,9 @@ def check(ctx: LintContext) -> Iterator[Diagnostic]:
                 emitted += 1
                 if emitted > ctx.max_diagnostics_per_rule:
                     return
-                yield Diagnostic(
-                    rule=RULE.id, severity=RULE.severity,
-                    phase=access.phase,
-                    phase_name=index.phase_name(access.phase),
-                    task=access.task, line=line,
-                    message=(f"task {what} line {count} times; every "
-                             "repeat after the first is a wasted "
-                             "coherence instruction"),
-                    hint=f"deduplicate the task's {field}")
+                yield diagnostic(access.phase,
+                                 index.phase_name(access.phase),
+                                 access.task, line, count, what, field)
 
 
 RULE = Rule(

@@ -28,6 +28,23 @@ from repro.lint.rules import Rule
 from repro.types import PolicyKind
 
 
+def diagnostic(phase: int, phase_name: str, task: int,
+               line: int) -> Diagnostic:
+    """The COH006 finding for one (task, line) site -- shared by linter
+    and analyzer."""
+    return Diagnostic(
+        rule=RULE.id, severity=RULE.severity,
+        phase=phase, phase_name=phase_name, task=task, line=line,
+        message=("uncached atomic targets an SWcc-domain line; "
+                 "the RMW at the L3 cannot see (or invalidate) "
+                 "write-allocated L2 copies, so it may read a "
+                 "stale value and its update can be lost to a "
+                 "later flush or dirty eviction"),
+        hint=(f"allocate line {line:#x}'s data in the coherent "
+              "heap (malloc) or globals, or transition the line "
+              "to HWcc before the atomic phase"))
+
+
 def check(ctx: LintContext) -> Iterator[Diagnostic]:
     if ctx.domain.kind is not PolicyKind.COHESION:
         return
@@ -40,19 +57,8 @@ def check(ctx: LintContext) -> Iterator[Diagnostic]:
             emitted += 1
             if emitted > ctx.max_diagnostics_per_rule:
                 return
-            yield Diagnostic(
-                rule=RULE.id, severity=RULE.severity,
-                phase=access.phase,
-                phase_name=index.phase_name(access.phase),
-                task=access.task, line=line,
-                message=("uncached atomic targets an SWcc-domain line; "
-                         "the RMW at the L3 cannot see (or invalidate) "
-                         "write-allocated L2 copies, so it may read a "
-                         "stale value and its update can be lost to a "
-                         "later flush or dirty eviction"),
-                hint=(f"allocate line {line:#x}'s data in the coherent "
-                      "heap (malloc) or globals, or transition the line "
-                      "to HWcc before the atomic phase"))
+            yield diagnostic(access.phase, index.phase_name(access.phase),
+                             access.task, line)
 
 
 RULE = Rule(

@@ -14,20 +14,23 @@ from __future__ import annotations
 
 from typing import Iterable, Optional, Tuple
 
-from repro.lint.diagnostics import LintReport
+from repro.lint.diagnostics import LintReport, diagnostic_sort_key
 from repro.lint.model import DomainModel, LintContext, ProgramIndex
 from repro.lint.rules import ALL_RULES
-from repro.runtime.program import Program
+from repro.runtime.program import FrozenProgram, Program
 from repro.types import PolicyKind
 
 
-def lint_program(program: Program, machine=None,
+def lint_program(program, machine=None,
                  domain: Optional[DomainModel] = None,
                  rules: Optional[Iterable[str]] = None,
                  max_diagnostics_per_rule: int = 200) -> LintReport:
     """Statically check ``program`` against the SWcc protocol rules.
 
-    The coherence domains are taken from ``domain`` if given, otherwise
+    ``program`` may be a :class:`~repro.runtime.program.Program` or a
+    :class:`~repro.runtime.program.FrozenProgram` -- frozen artifacts
+    are indexed directly from their flat op slices, never thawed. The
+    coherence domains are taken from ``domain`` if given, otherwise
     resolved from ``machine``'s region tables; exactly one of the two
     must be provided. The simulator is never invoked.
     """
@@ -36,7 +39,10 @@ def lint_program(program: Program, machine=None,
             raise ValueError("lint_program needs a machine or a DomainModel")
         domain = DomainModel.of_machine(machine)
     selected = _select_rules(rules)
-    index = ProgramIndex.of_program(program)
+    if isinstance(program, FrozenProgram):
+        index = ProgramIndex.of_frozen(program)
+    else:
+        index = ProgramIndex.of_program(program)
     ctx = LintContext(program=program, index=index, domain=domain,
                       max_diagnostics_per_rule=max_diagnostics_per_rule)
     report = LintReport(program=program.name,
@@ -47,11 +53,9 @@ def lint_program(program: Program, machine=None,
     # Deterministic order: primarily by line address, then rule id, so
     # the JSON output is stable across runs (and across rule-internal
     # iteration order) and usable as a CI golden file. Diagnostics with
-    # no line anchor (line=None) sort first.
-    report.diagnostics.sort(
-        key=lambda d: (d.line if d.line is not None else -1, d.rule,
-                       d.phase if d.phase is not None else -1,
-                       d.task if d.task is not None else -1))
+    # no line anchor (line=None) sort first. The key is shared with
+    # ``repro analyze`` so both engines report in the same order.
+    report.diagnostics.sort(key=diagnostic_sort_key)
     if index.has_after_hooks and domain.kind is PolicyKind.COHESION:
         report.notes.append(
             "program has Phase.after hooks; if they re-map coherence "

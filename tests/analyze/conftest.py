@@ -1,0 +1,24 @@
+"""Frozen twins of the lint suite's hand-built program helpers."""
+
+from repro.lint import DomainModel
+from repro.types import PolicyKind
+
+from tests.lint.conftest import (cohesion_setup, phase, program,  # noqa: F401
+                                 rule_ids, swcc_setup, task)
+
+
+def swcc_domain() -> DomainModel:
+    """Pure SWcc: every line is software-managed, no tables needed."""
+    return DomainModel(PolicyKind.SWCC)
+
+
+def cohesion_domain() -> DomainModel:
+    """The boot-time Cohesion model resolved from the default layout."""
+    return DomainModel.of_layout(PolicyKind.COHESION)
+
+
+def diag_tuples(report):
+    """Every finding of a lint/analysis report as comparable tuples."""
+    diagnostics = getattr(report, "findings", report).diagnostics
+    return [(d.rule, d.severity, d.phase, d.task, d.line, d.message, d.hint)
+            for d in diagnostics]

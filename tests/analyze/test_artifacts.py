@@ -1,0 +1,86 @@
+"""Standalone artifact files: dump, load, and machine-free analysis."""
+
+import pickle
+
+import pytest
+
+from repro.analysis.experiments import ExperimentConfig
+from repro.analyze import analyze_frozen, analyze_workload
+from repro.cache import dump_artifact, load_artifact
+from repro.cache.programs import PROGRAM_SCHEMA
+from repro.config import Policy
+from repro.errors import StaleArtifactError
+from repro.types import OP_LOAD, OP_STORE, PolicyKind
+
+from tests.analyze.conftest import diag_tuples, phase, program, task
+
+ADDR = 0x4000_0000
+EXP = ExperimentConfig(n_clusters=1, scale=0.2)
+
+
+def small_frozen():
+    line = ADDR >> 5
+    return program(
+        phase("w", task([(OP_STORE, ADDR, 7)], flushes=[line])),
+        phase("r", task([(OP_LOAD, ADDR)], inputs=[line]))).freeze()
+
+
+class TestRoundTrip:
+    def test_dump_then_load(self, tmp_path):
+        frozen = small_frozen()
+        path = tmp_path / "prog.pkl"
+        dump_artifact(frozen, path)
+        loaded = load_artifact(path)
+        assert loaded.name == frozen.name
+        assert loaded.total_ops == frozen.total_ops
+        assert diag_tuples(analyze_frozen(loaded)) == \
+            diag_tuples(analyze_frozen(frozen))
+
+    def test_store_payload_accepted(self, tmp_path):
+        # ``--artifact`` can point straight at a file under the program
+        # store, whose payload wraps the frozen program in a dict.
+        frozen = small_frozen()
+        path = tmp_path / "payload.pkl"
+        with open(path, "wb") as fh:
+            pickle.dump({"schema": PROGRAM_SCHEMA, "key": {},
+                         "frozen": frozen}, fh)
+        assert load_artifact(path).total_ops == frozen.total_ops
+
+    def test_kernel_artifact_analyzes_machine_free(self, tmp_path):
+        # Same verdicts whether the artifact is analyzed in-process or
+        # re-loaded from disk with no machine and no workload imports.
+        report, frozen, _machine = analyze_workload(
+            "gjk", policy=Policy.cohesion(), exp=EXP)
+        path = tmp_path / "gjk.pkl"
+        dump_artifact(frozen, path)
+        offline = analyze_frozen(load_artifact(path),
+                                 kind=PolicyKind.COHESION)
+        assert diag_tuples(offline) == diag_tuples(report)
+        assert offline.summary["ops"] == report.summary["ops"]
+
+
+class TestErrors:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(StaleArtifactError, match="cannot read"):
+            load_artifact(tmp_path / "nope.pkl")
+
+    def test_not_a_pickle(self, tmp_path):
+        path = tmp_path / "junk.pkl"
+        path.write_bytes(b"not a pickle at all")
+        with pytest.raises(StaleArtifactError, match="cannot read"):
+            load_artifact(path)
+
+    def test_wrong_payload_type(self, tmp_path):
+        path = tmp_path / "wrong.pkl"
+        with open(path, "wb") as fh:
+            pickle.dump({"schema": PROGRAM_SCHEMA}, fh)
+        with pytest.raises(StaleArtifactError, match="frozen program"):
+            load_artifact(path)
+
+    def test_format_mismatch(self, tmp_path):
+        frozen = small_frozen()
+        frozen.format = 999
+        path = tmp_path / "future.pkl"
+        dump_artifact(frozen, path)
+        with pytest.raises(StaleArtifactError, match="format 999"):
+            load_artifact(path)

@@ -1,0 +1,171 @@
+"""Dynamic confirmation of the analyzer's whole-program findings.
+
+Mirror of ``tests/lint/test_crossval.py`` for COH007..COH009: each
+static prediction must be borne out by a fully-instrumented simulation
+(COH007 by stale data, COH008/COH009 by the WB/INV waste counters), and
+seeded random programs close the loop in bulk -- disciplined programs
+run clean under every oracle, corrupted ones are flagged identically by
+both static engines before the simulator confirms the damage class.
+"""
+
+import random
+
+import pytest
+
+from repro import Policy
+from repro.analyze import analyze_frozen
+from repro.lint import lint_program, run_with_oracles, watched_lines
+from repro.runtime.program import Phase, Program, Task
+from repro.types import OP_ATOMIC, OP_LOAD, OP_STORE, PolicyKind
+
+from tests.analyze.conftest import (diag_tuples, phase, program, swcc_domain,
+                                    swcc_setup, task)
+
+SHARED_RULES = ["COH001", "COH002", "COH003", "COH004", "COH005", "COH006"]
+
+
+class TestTruePositives:
+    def test_coh007_reader_observes_stale_value(self):
+        machine, addr, line = swcc_setup(value=5)
+        prog = program(
+            phase("warm", task([(OP_LOAD, addr, 5)])),
+            phase("publish", task([(OP_ATOMIC, addr, 1)])),
+            phase("reread", task([(OP_LOAD, addr, 6)], inputs=[line])))
+        prog.expected = {addr: 6}
+        report = analyze_frozen(prog.freeze(), kind=PolicyKind.SWCC,
+                                domain=swcc_domain(), rules=["COH007"])
+        [diag] = report.findings.diagnostics
+        run = run_with_oracles(machine, prog, watch=watched_lines([diag]))
+        # The endangered read COH007 anchors on is exactly the load that
+        # observed the stale 5.
+        assert (addr, 6, 5) in run.mismatches
+        assert run.confirms(diag)
+
+    def test_coh008_flush_of_loaded_line_is_clean_wb(self):
+        machine, addr, line = swcc_setup(value=5)
+        prog = program(phase("p", task([(OP_LOAD, addr, 5)],
+                                       flushes=[line])))
+        report = analyze_frozen(prog.freeze(), kind=PolicyKind.SWCC,
+                                domain=swcc_domain(), rules=["COH008"])
+        [diag] = report.findings.diagnostics
+        run = run_with_oracles(machine, prog, watch=[line])
+        # The WB found a resident copy with nothing dirty on it.
+        assert run.clean_wb >= 1
+        assert run.confirms(diag)
+        assert not run.protocol_broken
+
+    def test_coh008_flush_of_untouched_line_is_wasted_wb(self):
+        machine, addr, line = swcc_setup(value=5)
+        prog = program(phase("p", task([(OP_LOAD, addr + 64, 0)],
+                                       flushes=[line])))
+        report = analyze_frozen(prog.freeze(), kind=PolicyKind.SWCC,
+                                domain=swcc_domain(), rules=["COH008"])
+        [diag] = report.findings.diagnostics
+        run = run_with_oracles(machine, prog, watch=[line])
+        # The WB found no copy at all.
+        assert run.wasted_wb >= 1
+        assert run.confirms(diag)
+
+    def test_coh009_invalidate_of_untouched_line_is_wasted_inv(self):
+        machine, addr, line = swcc_setup(value=5)
+        prog = program(phase("p", task([(OP_LOAD, addr + 64, 0)],
+                                       inputs=[line])))
+        report = analyze_frozen(prog.freeze(), kind=PolicyKind.SWCC,
+                                domain=swcc_domain(), rules=["COH009"])
+        [diag] = report.findings.diagnostics
+        run = run_with_oracles(machine, prog, watch=[line])
+        # The lazy INV at the barrier found the line already absent.
+        assert run.wasted_inv >= 1
+        assert run.confirms(diag)
+        assert not run.protocol_broken
+
+    def test_coh010_has_no_dynamic_oracle(self):
+        # COH010 predicts what a hypothetical schedule would break; a
+        # run of the unmodified program cannot confirm it.
+        machine, addr, line = swcc_setup(value=5)
+        prog = program(phase("w", task([(OP_STORE, addr, 7)],
+                                       flushes=[line])))
+        from repro.analyze.rules import coh010_diagnostic
+        diag = coh010_diagnostic(0, "w", 0, line, 0, "partial-valid")
+        run = run_with_oracles(machine, prog, watch=[line])
+        assert not run.confirms(diag)
+
+
+def _disciplined_program(rng: random.Random, corrupt: bool
+                         ) -> tuple:
+    """A seeded BSP-disciplined SWcc program (optionally corrupted).
+
+    Disciplined: within a phase, writers own disjoint lines; every
+    written line is flushed; every consumer of a line rewritten in an
+    earlier phase invalidates it. Corruption drops one flush or one
+    invalidate, which both engines must flag identically.
+    """
+    base_line = 0x4000_0000 >> 5
+    n_lines = 8
+    shadow = {}
+    phases = []
+    value = 0
+    for p in range(rng.randrange(2, 4)):
+        n_tasks = rng.randrange(1, 4)
+        lines = list(range(n_lines))
+        rng.shuffle(lines)
+        tasks = []
+        for t in range(n_tasks):
+            ops, flush, inputs = [], [], []
+            for line_index in lines[t::n_tasks][:2]:
+                line = base_line + line_index
+                addr = line << 5
+                if rng.random() < 0.5:
+                    value += 1
+                    ops.append((OP_STORE, addr, value))
+                    shadow[addr] = value
+                    flush.append(line)
+                    inputs.append(line)
+                elif addr in shadow:
+                    ops.append((OP_LOAD, addr, shadow[addr]))
+                    inputs.append(line)
+            tasks.append(Task(ops=ops, flush_lines=flush,
+                              input_lines=inputs, stack_words=0))
+        phases.append(Phase(name=f"p{p}", tasks=tasks, code_lines=0))
+    prog = Program(name="crossval", phases=phases)
+    if corrupt:
+        candidates = [t for ph in phases for t in ph.tasks
+                      if t.flush_lines or t.input_lines]
+        victim = rng.choice(candidates) if candidates else None
+        if victim is not None:
+            which = victim.flush_lines if (victim.flush_lines
+                                           and rng.random() < 0.5) \
+                else victim.input_lines or victim.flush_lines
+            which.pop(rng.randrange(len(which)))
+    return prog, shadow
+
+
+class TestSeededBulkCrossval:
+    @pytest.mark.parametrize("seed", range(12))
+    def test_disciplined_programs_run_clean(self, seed):
+        rng = random.Random(seed)
+        prog, shadow = _disciplined_program(rng, corrupt=False)
+        domain = swcc_domain()
+        analysis = analyze_frozen(prog.freeze(), kind=PolicyKind.SWCC,
+                                  domain=domain)
+        assert analysis.errors == [], analysis.format()
+        prog.expected = dict(shadow)
+        from tests.conftest import make_machine
+        machine = make_machine(Policy.swcc(), n_clusters=1)
+        run = run_with_oracles(machine, prog, trace=False)
+        assert not run.protocol_broken
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_corrupted_programs_flagged_identically(self, seed):
+        rng = random.Random(1000 + seed)
+        prog, shadow = _disciplined_program(rng, corrupt=True)
+        domain = swcc_domain()
+        lint_report = lint_program(prog, domain=domain)
+        analysis = analyze_frozen(prog.freeze(), kind=PolicyKind.SWCC,
+                                  domain=domain, rules=SHARED_RULES)
+        assert diag_tuples(analysis) == diag_tuples(lint_report)
+        # The reader-side dual agrees with COH002 on cleanliness.
+        coh002 = lint_program(prog, domain=domain, rules=["COH002"]).clean
+        coh007 = analyze_frozen(prog.freeze(), kind=PolicyKind.SWCC,
+                                domain=domain, rules=["COH007"]).clean
+        assert coh002 == coh007

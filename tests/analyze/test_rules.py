@@ -1,0 +1,180 @@
+"""The whole-program rules COH007..COH010 on minimal frozen programs."""
+
+import pytest
+
+from repro.analyze import Transition, analyze_frozen
+from repro.analyze.ir import FULL_LINE_MASK, WORDS_PER_LINE, AnalysisIR
+from repro.lint import Severity, lint_program
+from repro.mem.address import WORD_BYTES
+from repro.types import (OP_ATOMIC, OP_INV, OP_LOAD, OP_STORE, OP_WB,
+                         PolicyKind)
+
+from tests.analyze.conftest import phase, program, swcc_domain, task
+
+ADDR = 0x4000_0000
+LINE = ADDR >> 5
+
+
+def analyze(prog, rules=None, schedule=()):
+    return analyze_frozen(prog.freeze(), kind=PolicyKind.SWCC,
+                          domain=swcc_domain(), rules=rules,
+                          schedule=schedule)
+
+
+class TestCOH007StaleReadWindow:
+    def _window(self, warm_inputs=(), reread_inputs=(LINE,)):
+        return program(
+            phase("warm", task([(OP_LOAD, ADDR)], inputs=warm_inputs)),
+            phase("publish", task([(OP_ATOMIC, ADDR, 1)])),
+            phase("reread", task([(OP_LOAD, ADDR)], inputs=reread_inputs)))
+
+    def test_endangered_read_flagged(self):
+        report = analyze(self._window(), rules=["COH007"])
+        [diag] = report.findings.diagnostics
+        assert diag.severity is Severity.ERROR
+        # COH007 anchors on the *reader*; COH002 blames the cacher.
+        assert diag.phase == 2 and diag.task == 0 and diag.line == LINE
+        assert "phase 0 caches" in diag.message
+        assert "phase 1 republishes" in diag.message
+
+    def test_invalidated_cacher_silences(self):
+        report = analyze(self._window(warm_inputs=[LINE]), rules=["COH007"])
+        assert report.clean
+
+    def test_no_republish_no_window(self):
+        prog = program(
+            phase("warm", task([(OP_LOAD, ADDR)])),
+            phase("idle", task([(OP_LOAD, ADDR + 64)])),
+            phase("reread", task([(OP_LOAD, ADDR)], inputs=[LINE])))
+        assert analyze(prog, rules=["COH007"]).clean
+
+    def test_read_adjacent_to_cache_has_no_window(self):
+        # cache < write < read needs three distinct phases.
+        prog = program(
+            phase("warm", task([(OP_LOAD, ADDR)])),
+            phase("publish", task([(OP_ATOMIC, ADDR, 1)])))
+        assert analyze(prog, rules=["COH007"]).clean
+
+    def test_store_side_publisher_also_opens_window(self):
+        prog = program(
+            phase("warm", task([(OP_LOAD, ADDR)])),
+            phase("publish", task([(OP_STORE, ADDR, 9)], flushes=[LINE])),
+            phase("reread", task([(OP_LOAD, ADDR)], inputs=[LINE])))
+        report = analyze(prog, rules=["COH007"])
+        assert [d.rule for d in report.findings.diagnostics] == ["COH007"]
+
+    @pytest.mark.parametrize("warm_inputs", [(), (LINE,)])
+    def test_dual_of_coh002(self, warm_inputs):
+        # A program is COH007-clean exactly when it is COH002-clean: the
+        # two rules attribute the same window to its two ends.
+        prog = self._window(warm_inputs=warm_inputs)
+        lint_clean = lint_program(prog, domain=swcc_domain(),
+                                  rules=["COH002"]).clean
+        assert analyze(prog, rules=["COH007"]).clean == lint_clean
+
+
+class TestCOH008RedundantWriteback:
+    def test_flush_without_store_warns(self):
+        prog = program(phase("p", task([(OP_LOAD, ADDR)], flushes=[LINE])))
+        report = analyze(prog, rules=["COH008"])
+        [diag] = report.findings.diagnostics
+        assert diag.severity is Severity.WARNING
+        assert diag.line == LINE and "never stores" in diag.message
+        assert report.summary["redundant_wb_sites"] == 1
+
+    def test_flush_of_untouched_line_warns(self):
+        prog = program(phase("p", task([(OP_LOAD, ADDR + 64)],
+                                       flushes=[LINE])))
+        assert not analyze(prog, rules=["COH008"]).clean
+
+    def test_inline_wb_counts(self):
+        prog = program(phase("p", task([(OP_LOAD, ADDR), (OP_WB, ADDR)])))
+        assert not analyze(prog, rules=["COH008"]).clean
+
+    def test_stored_line_flush_is_fine(self):
+        prog = program(phase("p", task([(OP_STORE, ADDR, 1)],
+                                       flushes=[LINE])))
+        assert analyze(prog, rules=["COH008"]).clean
+
+
+class TestCOH009UselessInvalidate:
+    def test_invalidate_of_untouched_line_warns(self):
+        prog = program(phase("p", task([(OP_LOAD, ADDR + 64)],
+                                       inputs=[LINE])))
+        report = analyze(prog, rules=["COH009"])
+        [diag] = report.findings.diagnostics
+        assert diag.severity is Severity.WARNING
+        assert diag.line == LINE and "no copy to drop" in diag.message
+        assert report.summary["useless_inv_sites"] == 1
+
+    def test_inline_inv_counts(self):
+        prog = program(phase("p", task([(OP_LOAD, ADDR + 64),
+                                        (OP_INV, ADDR)])))
+        assert not analyze(prog, rules=["COH009"]).clean
+
+    @pytest.mark.parametrize("op", [OP_LOAD, OP_STORE])
+    def test_touched_line_invalidate_is_fine(self, op):
+        ops = [(op, ADDR)] if op == OP_LOAD else [(op, ADDR, 1)]
+        prog = program(phase("p", task(ops, inputs=[LINE])))
+        assert analyze(prog, rules=["COH009"]).clean
+
+
+class TestCOH010UnsafeTransition:
+    TO_HW = Transition(phase=0, action="to_hwcc", base=ADDR, size=64)
+
+    def test_unflushed_dirty_copy_flagged(self):
+        prog = program(phase("w", task([(OP_STORE, ADDR, 1)])))
+        report = analyze(prog, rules=["COH010"], schedule=[self.TO_HW])
+        [diag] = report.findings.diagnostics
+        assert diag.severity is Severity.ERROR
+        assert "unflushed-dirty" in diag.message and diag.line == LINE
+
+    def test_partial_valid_copy_flagged(self):
+        # Flushed, but store-allocated without a full-line fill: only
+        # the SWcc per-word masks can express word-wise validity.
+        prog = program(phase("w", task([(OP_STORE, ADDR, 1)],
+                                       flushes=[LINE])))
+        report = analyze(prog, rules=["COH010"], schedule=[self.TO_HW])
+        [diag] = report.findings.diagnostics
+        assert "partial-valid" in diag.message
+
+    def test_flushed_and_invalidated_copy_is_safe(self):
+        prog = program(phase("w", task([(OP_STORE, ADDR, 1)],
+                                       flushes=[LINE], inputs=[LINE])))
+        assert analyze(prog, rules=["COH010"],
+                       schedule=[self.TO_HW]).clean
+
+    def test_full_line_store_is_safe_once_flushed(self):
+        ops = [(OP_STORE, ADDR + WORD_BYTES * w, w)
+               for w in range(WORDS_PER_LINE)]
+        prog = program(phase("w", task(ops, flushes=[LINE])))
+        ir = AnalysisIR.of_frozen(prog.freeze())
+        assert ir.tasks[0].stores[LINE] == FULL_LINE_MASK
+        assert analyze(prog, rules=["COH010"],
+                       schedule=[self.TO_HW]).clean
+
+    def test_later_store_not_audited(self):
+        # Only tasks at or before the transition barrier can leave a
+        # copy behind; later phases run with the region already HWcc.
+        prog = program(
+            phase("idle", task([(OP_LOAD, ADDR + 64)])),
+            phase("w", task([(OP_STORE, ADDR, 1)])))
+        schedule = [Transition(phase=0, action="to_hwcc",
+                               base=ADDR, size=64)]
+        assert analyze(prog, rules=["COH010"], schedule=schedule).clean
+
+    def test_to_swcc_never_flagged(self):
+        prog = program(phase("w", task([(OP_STORE, ADDR, 1)])))
+        schedule = [Transition(phase=0, action="to_swcc",
+                               base=ADDR, size=64)]
+        assert analyze(prog, rules=["COH010"], schedule=schedule).clean
+
+    def test_no_schedule_is_vacuous(self):
+        prog = program(phase("w", task([(OP_STORE, ADDR, 1)])))
+        assert analyze(prog, rules=["COH010"]).clean
+
+    def test_other_region_unaffected(self):
+        far = Transition(phase=0, action="to_hwcc",
+                         base=ADDR + 0x1000, size=64)
+        prog = program(phase("w", task([(OP_STORE, ADDR, 1)])))
+        assert analyze(prog, rules=["COH010"], schedule=[far]).clean

@@ -1,0 +1,58 @@
+"""Scale gate: whole-machine artifacts analyze in interactive time.
+
+The analyzer exists so full-machine artifacts (1024 cores / 128
+clusters) can be audited without simulating them; its bitmask
+happens-before queries keep the pass near-linear in op count. The
+budget here (60 s) is deliberately loose for CI hardware -- the pass is
+expected to take well under a tenth of it.
+"""
+
+import time
+
+from repro.analyze import analyze_frozen
+from repro.runtime.program import Phase, Program, Task
+from repro.types import OP_LOAD, OP_STORE, PolicyKind
+
+N_CORES = 1024
+N_PHASES = 8
+LINES_PER_TASK = 16
+
+
+def full_machine_program() -> Program:
+    """A 1024-task-per-phase program shaped like a full-machine kernel:
+    write phases partition the heap into per-task line strips (stored,
+    flushed, invalidated); read phases have every task consume a
+    neighbour's strip from the phase before."""
+    base_line = 0x4000_0000 >> 5
+    phases = []
+    for p in range(N_PHASES):
+        tasks = []
+        for t in range(N_CORES):
+            mine = base_line + t * LINES_PER_TASK
+            theirs = base_line + ((t + 1) % N_CORES) * LINES_PER_TASK
+            ops = []
+            flush, inputs = [], []
+            for i in range(LINES_PER_TASK):
+                if p % 2 == 0:
+                    ops.append((OP_STORE, (mine + i) << 5, p))
+                    flush.append(mine + i)
+                    inputs.append(mine + i)
+                else:
+                    ops.append((OP_LOAD, (theirs + i) << 5))
+                    inputs.append(theirs + i)
+            tasks.append(Task(ops=ops, flush_lines=flush,
+                              input_lines=inputs, stack_words=0))
+        phases.append(Phase(name=f"p{p}", tasks=tasks, code_lines=0))
+    return Program(name="full-machine", phases=phases)
+
+
+def test_full_machine_artifact_analyzes_under_budget():
+    frozen = full_machine_program().freeze()
+    assert frozen.total_ops > 100_000
+    start = time.perf_counter()
+    report = analyze_frozen(frozen, kind=PolicyKind.SWCC)
+    elapsed = time.perf_counter() - start
+    assert elapsed < 60.0, f"analysis took {elapsed:.1f}s"
+    assert report.clean, report.format()
+    assert report.summary["tasks"] == N_CORES * N_PHASES
+    assert report.summary["lines"] == N_CORES * LINES_PER_TASK

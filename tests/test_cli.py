@@ -188,6 +188,110 @@ class TestCommands:
         assert code == 2
         assert "unknown lint rule 'COH999'" in err
 
+    def test_analyze_single_workload(self, capsys):
+        code = main(["analyze", "sobel", "--clusters", "1",
+                     "--scale", "0.2"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "analyze sobel [swcc]" in out
+        assert "analyze sobel [cohesion]" in out
+        assert "analyzed 3 artifact(s): 0 error(s), 0 warning(s)" in out
+        assert "redundant_wb_sites=0" in out
+
+    def test_analyze_all_json(self, capsys):
+        import json
+
+        code = main(["analyze", "--all", "--policy", "cohesion", "--json",
+                     "--clusters", "1", "--scale", "0.2"])
+        out = capsys.readouterr().out
+        assert code == 0
+        reports = json.loads(out)
+        assert len(reports) == 8
+        assert all(r["clean"] for r in reports)
+        assert all(r["summary"]["COH007"] == 0 for r in reports)
+
+    def test_analyze_artifact_machine_free(self, tmp_path, capsys):
+        from repro.analyze import analyze_workload
+        from repro.cache import dump_artifact
+        from repro.cli import policy_from_name
+        from repro.analysis.experiments import ExperimentConfig
+
+        _report, frozen, _machine = analyze_workload(
+            "gjk", policy=policy_from_name("cohesion"),
+            exp=ExperimentConfig(n_clusters=1, scale=0.2))
+        path = tmp_path / "gjk.pkl"
+        dump_artifact(frozen, path)
+        code = main(["analyze", "--artifact", str(path),
+                     "--policy", "cohesion"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "analyze gjk [cohesion]" in out
+
+    def test_analyze_advise_out(self, tmp_path, capsys):
+        import json
+
+        advice_path = tmp_path / "advice.json"
+        code = main(["analyze", "stencil", "--policy", "cohesion",
+                     "--clusters", "1", "--scale", "0.2", "--advise",
+                     "--advise-out", str(advice_path)])
+        assert code == 0
+        [doc] = json.loads(advice_path.read_text())
+        assert doc["schema"] == 1 and doc["program"] == "stencil"
+        assert doc["regions"]
+
+    def test_analyze_summary_appended(self, tmp_path, capsys):
+        summary = tmp_path / "summary.md"
+        code = main(["analyze", "gjk", "--policy", "swcc", "--clusters",
+                     "1", "--scale", "0.2", "--summary", str(summary)])
+        assert code == 0
+        text = summary.read_text()
+        assert "| program | policy |" in text
+        assert "| gjk | swcc | 0 | 0 | 0 | 0 |" in text
+
+    def test_analyze_schedule_drives_coh010(self, tmp_path, capsys):
+        # An artifact that leaves an unflushed dirty SWcc copy behind,
+        # plus a schedule moving that region to hardware: COH010 errors.
+        import json
+
+        from repro.cache import dump_artifact
+        from repro.runtime.program import Phase, Program, Task
+        from repro.types import OP_STORE
+
+        addr = 0x4000_0000
+        prog = Program(name="unsafe", phases=[Phase(
+            name="w", tasks=[Task(ops=[(OP_STORE, addr, 1)],
+                                  flush_lines=[], input_lines=[],
+                                  stack_words=0)], code_lines=0)])
+        artifact = tmp_path / "unsafe.pkl"
+        dump_artifact(prog.freeze(), artifact)
+        sched = tmp_path / "sched.json"
+        sched.write_text(json.dumps([
+            {"phase": 0, "action": "to_hwcc", "base": addr, "size": 64}]))
+        code = main(["analyze", "--artifact", str(artifact),
+                     "--policy", "cohesion", "--schedule", str(sched),
+                     "--rules", "COH010"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "COH010" in out and "unflushed-dirty" in out
+
+    def test_analyze_without_workload_rejected(self, capsys):
+        assert main(["analyze"]) == 2
+
+    def test_analyze_bad_artifact_is_usage_error(self, tmp_path, capsys):
+        bad = tmp_path / "bad.pkl"
+        bad.write_bytes(b"junk")
+        code = main(["analyze", "--artifact", str(bad)])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "analyze:" in err
+
+    def test_analyze_unknown_rule_clean_error(self, capsys):
+        code = main(["analyze", "gjk", "--policy", "swcc", "--clusters",
+                     "1", "--scale", "0.1", "--rules", "COH999"])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "unknown analyze rule 'COH999'" in err
+
     def test_figures_single(self, tmp_path, capsys):
         code = main(["figures", "sec44", "--out", str(tmp_path)])
         assert code == 0
