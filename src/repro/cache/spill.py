@@ -1,0 +1,84 @@
+"""Disk spill for bulky intermediate sweeps under the cache root.
+
+Unlike :mod:`repro.cache.programs`/:mod:`repro.cache.results`, spill
+segments are *scratch*, not cache: they exist so a producer can stream
+an unbounded sequence of pickled batches to disk and read them back in
+order once, without holding everything in memory (the model checker's
+BFS frontier at deep presets is the motivating client). Content
+addressing buys the same properties as the real caches -- a stable,
+collision-free layout under ``cache_root()`` keyed by whatever the
+client passes -- but entries carry no reuse promise and are deleted by
+:meth:`SpillStore.cleanup` when the run finishes (a crashed run's
+leftovers are swept by ``repro cache clear`` like everything else).
+
+Each store instance gets a private directory: the key digest is salted
+with the pid and an in-process counter, so concurrent runs (or two
+stores in one run) never interleave segments.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import pickle
+import shutil
+from pathlib import Path
+from typing import Iterator, List, Optional
+
+from repro.cache.keys import cache_root, digest
+
+_instances = itertools.count()
+
+
+class SpillStore:
+    """Append pickled batches to disk segments; stream them back once.
+
+    ``namespace`` groups related spills under
+    ``<cache_root>/spill/<namespace>/``; ``key`` is any
+    digest-able description of the producing run (used only to make the
+    directory name informative and unique).
+    """
+
+    def __init__(self, namespace: str, key: object,
+                 root: Optional[Path] = None) -> None:
+        salted = {"key": key, "pid": os.getpid(),
+                  "instance": next(_instances)}
+        self.dir = ((root or cache_root()) / "spill" / namespace
+                    / digest(salted)[:16])
+        self.segments = 0
+        self._created = False
+
+    def write_segment(self, batch: List[object]) -> int:
+        """Persist one batch; returns its segment id (read-back order)."""
+        if not self._created:
+            self.dir.mkdir(parents=True, exist_ok=True)
+            self._created = True
+        seg = self.segments
+        path = self.dir / f"seg-{seg:06d}.pkl"
+        tmp = path.with_suffix(".tmp")
+        with open(tmp, "wb") as fh:
+            pickle.dump(batch, fh, protocol=4)
+        os.replace(tmp, path)
+        self.segments = seg + 1
+        return seg
+
+    def read_segment(self, seg: int) -> List[object]:
+        with open(self.dir / f"seg-{seg:06d}.pkl", "rb") as fh:
+            return pickle.load(fh)
+
+    def drain(self) -> Iterator[List[object]]:
+        """Yield all written segments in order, deleting each after use."""
+        for seg in range(self.segments):
+            path = self.dir / f"seg-{seg:06d}.pkl"
+            with open(path, "rb") as fh:
+                batch = pickle.load(fh)
+            path.unlink()
+            yield batch
+        self.segments = 0
+
+    def cleanup(self) -> None:
+        """Remove the store's directory (idempotent)."""
+        if self._created:
+            shutil.rmtree(self.dir, ignore_errors=True)
+            self._created = False
+            self.segments = 0

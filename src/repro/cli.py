@@ -445,12 +445,44 @@ def cmd_mc(args) -> int:
         def progress(states, transitions):
             print(f"  ... {states} states, {transitions} transitions",
                   file=sys.stderr)
+
+    if args.equality_gate:
+        from repro.mc.reduce import equality_gate
+        report = equality_gate(model, jobs=args.jobs, progress=progress)
+        if args.json:
+            print(json.dumps(report, indent=2))
+        else:
+            print(f"equality gate on preset {report['preset']!r}:")
+            for name, held in report["checks"].items():
+                print(f"  {'ok  ' if held else 'FAIL'} {name}")
+            unred, red = report["unreduced"], report["reduced"]
+            print(f"  unreduced: {unred['states']} states, "
+                  f"{unred['transitions']} transitions")
+            print(f"  reduced:   {red['states']} states "
+                  f"(representing {red['represented_states']}), "
+                  f"{red['transitions']} transitions, "
+                  f"factor {red['reduction_factor']}x")
+        return 0 if report["ok"] else 1
+
     result = explore(model, mutation=args.mutate,
                      max_states=args.max_states, max_depth=args.max_depth,
-                     progress=progress)
+                     progress=progress, reduce=not args.no_reduce,
+                     jobs=args.jobs, spill=args.spill)
 
     if args.trace_out and result.trace is not None:
         write_trace(args.trace_out, result)
+    if args.out:
+        import time
+
+        out_dir = pathlib.Path(args.out)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        out_path = out_dir / f"MC_{time.strftime('%Y%m%d-%H%M%S')}.json"
+        with open(out_path, "w", encoding="utf-8") as fh:
+            json.dump({"result": result.as_dict(),
+                       "levels": result.levels}, fh, indent=2)
+            fh.write("\n")
+        if not args.json and not args.quiet:
+            print(f"trajectory written to {out_path}", file=sys.stderr)
     if args.summary:
         status = "clean" if result.ok else "VIOLATION"
         if result.exhaustive:
@@ -459,6 +491,8 @@ def cmd_mc(args) -> int:
             coverage = f"truncated by {result.truncated_by}"
         else:
             coverage = "stopped at first violation"
+        if result.reduced and result.reduction_factor:
+            coverage += f" ({result.reduction_factor:.1f}x reduction)"
         with open(args.summary, "a", encoding="utf-8") as fh:
             fh.write(f"| `{result.preset}` | "
                      f"{result.mutation or '-'} | "
@@ -474,6 +508,11 @@ def cmd_mc(args) -> int:
               f"{result.transitions} transitions, "
               f"depth {result.max_depth_reached}, "
               f"{result.races} race(s), {result.elapsed:.2f}s")
+        if result.reduced and result.represented_states is not None:
+            print(f"  reduction: {result.states} orbit(s) represent "
+                  f"{result.represented_states} states "
+                  f"({result.reduction_factor:.2f}x), "
+                  f"{result.sleep_pruned} interleaving(s) slept")
         if result.truncated_by:
             print(f"  truncated by {result.truncated_by} "
                   "(exploration is NOT exhaustive)")
@@ -872,6 +911,22 @@ def build_parser() -> argparse.ArgumentParser:
                       help="list model universes and exit")
     p_mc.add_argument("--list-mutations", action="store_true",
                       help="list bug injections and exit")
+    p_mc.add_argument("--no-reduce", action="store_true",
+                      help="disable partial-order + line-symmetry "
+                           "reduction (explore the full product)")
+    p_mc.add_argument("--jobs", "-j", type=int, default=None,
+                      help="worker processes for frontier expansion "
+                           "(default: all cores)")
+    p_mc.add_argument("--spill", choices=("auto", "off", "always"),
+                      default="auto",
+                      help="spill BFS frontiers to disk (default: auto, "
+                           "above a size threshold)")
+    p_mc.add_argument("--equality-gate", action="store_true",
+                      help="run the preset unreduced AND reduced, diff "
+                           "verdicts and orbit counts; exit 1 on mismatch")
+    p_mc.add_argument("--out", default=None, metavar="DIR",
+                      help="write an MC_<timestamp>.json trajectory "
+                           "(result + per-level frontier sizes)")
     p_mc.set_defaults(func=cmd_mc)
 
     p_cmp = sub.add_parser("compare", help="all four design points")

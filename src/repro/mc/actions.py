@@ -28,6 +28,7 @@ caused it.
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import Iterator, List, NamedTuple, Optional
 
 from repro.errors import CoherenceRaceError, ProtocolError
@@ -67,6 +68,68 @@ _SYMMETRIC_KINDS = frozenset({"atomic", "to_swcc", "to_hwcc"})
 _NEEDS_RESIDENCY = frozenset({"wb", "inv", "evict"})
 
 
+class Candidate(NamedTuple):
+    """A state-independent potential action plus its enabledness guard.
+
+    ``guard`` is evaluated against the live machine by
+    :func:`guard_enabled`: ``None`` (always enabled), ``"resident"``
+    (initiator's L2 holds the line), ``"domain_swcc"`` (line currently
+    software-managed in the fine table), or ``"domain_hwcc"``.
+    """
+
+    index: int
+    action: Action
+    guard: Optional[str]
+
+
+@lru_cache(maxsize=None)
+def candidate_actions(model: ModelConfig) -> tuple:
+    """The model's candidate actions, memoized per `ModelConfig`.
+
+    Everything about the action list except enabledness is a function
+    of the (frozen, hashable) model alone, so it is built once instead
+    of at every explored state. The (candidate order, guard) pair is
+    pinned to reproduce :func:`enumerate_actions`'s historical yield
+    order exactly -- the unreduced-default equality gate depends on it.
+    """
+    out: List[Candidate] = []
+
+    def add(action: Action, guard: Optional[str]) -> None:
+        out.append(Candidate(len(out), action, guard))
+
+    for ls in model.lines:
+        for kind in ls.actions:
+            if kind in ("load", "store"):
+                for cid in range(model.n_clusters):
+                    for word in ls.words:
+                        add(Action(kind, cid, ls.line, word), None)
+            elif kind == "atomic":
+                for word in ls.words:
+                    add(Action(kind, 0, ls.line, word), None)
+            elif kind in _NEEDS_RESIDENCY:
+                for cid in range(model.n_clusters):
+                    add(Action(kind, cid, ls.line, -1), "resident")
+            elif kind == "to_swcc":
+                add(Action(kind, 0, ls.line, -1), "domain_hwcc")
+            elif kind == "to_hwcc":
+                add(Action(kind, 0, ls.line, -1), "domain_swcc")
+            else:  # pragma: no cover - presets validate their alphabets
+                raise ValueError(f"unknown action kind {kind!r}")
+    return tuple(out)
+
+
+def guard_enabled(machine, candidate: Candidate) -> bool:
+    """Is the candidate enabled in the machine's current state?"""
+    guard = candidate.guard
+    if guard is None:
+        return True
+    if guard == "resident":
+        cluster = machine.clusters[candidate.action.cluster]
+        return cluster.l2.peek(candidate.action.line) is not None
+    swcc = machine.memsys.fine.is_swcc(candidate.action.line)
+    return swcc if guard == "domain_swcc" else not swcc
+
+
 def enumerate_actions(machine, model: ModelConfig) -> Iterator[Action]:
     """All actions worth exploring from the machine's current state.
 
@@ -74,28 +137,9 @@ def enumerate_actions(machine, model: ModelConfig) -> Iterator[Action]:
     cluster does not hold) or redundant under symmetry (a domain
     transition already in the target domain; symmetric initiators).
     """
-    fine = machine.memsys.fine
-    for ls in model.lines:
-        for kind in ls.actions:
-            if kind in ("load", "store"):
-                for cid in range(machine.config.n_clusters):
-                    for word in ls.words:
-                        yield Action(kind, cid, ls.line, word)
-            elif kind == "atomic":
-                for word in ls.words:
-                    yield Action(kind, 0, ls.line, word)
-            elif kind in _NEEDS_RESIDENCY:
-                for cid, cluster in enumerate(machine.clusters):
-                    if cluster.l2.peek(ls.line) is not None:
-                        yield Action(kind, cid, ls.line, -1)
-            elif kind == "to_swcc":
-                if not fine.is_swcc(ls.line):
-                    yield Action(kind, 0, ls.line, -1)
-            elif kind == "to_hwcc":
-                if fine.is_swcc(ls.line):
-                    yield Action(kind, 0, ls.line, -1)
-            else:  # pragma: no cover - presets validate their alphabets
-                raise ValueError(f"unknown action kind {kind!r}")
+    for cand in candidate_actions(model):
+        if guard_enabled(machine, cand):
+            yield cand.action
 
 
 def resolved_swcc(machine, cluster_id: int, line: int) -> bool:

@@ -1,0 +1,168 @@
+"""Static read/write footprints for model-checker actions.
+
+The partial-order reduction in :mod:`repro.mc.reduce` needs to know
+which pairs of actions *commute*: applying them in either order from
+any state must land in the same state (up to the canonical-key value
+renaming). Rather than trusting dynamic observation, each `Action` kind
+declares here -- statically, as data -- the set of **state components**
+it may read or write, and independence is derived from footprint
+disjointness. The table itself is then validated two ways:
+
+* dynamically, by :func:`repro.mc.reduce.verify_independence`, which
+  exhaustively diffs post-states of commuted pairs on small universes;
+* statically, by selfcheck rule S003, which requires every action kind
+  constructed in ``mc/actions.py`` to carry an entry here.
+
+Component model
+---------------
+A footprint is a set of opaque component tokens:
+
+``("line", class_id)``
+    Everything anchored to one modeled line, *across all clusters*: the
+    L3 copy, backing memory, the fine-table domain bit, every cluster's
+    L2/L1 copies, and the SpecState promise/stale rows for its words.
+    Folding all clusters' copies into one token is deliberate: loads,
+    stores, atomics and domain transitions probe or invalidate *other*
+    clusters' copies of the same line, so per-(cluster, line) tokens
+    would be unsound. Lines that can alias in some cache (same L2 set,
+    same L1D set, or same L3 bank+set) are fused into one *class*,
+    because an insertion for one can evict the other.
+
+``("dir", bank)``
+    A whole directory bank. Bank-granular rather than entry-granular
+    because the canonical key includes each entry's *eviction rank
+    within its bank* (`_dir_rank`), which any allocation or release in
+    the bank can shift. Only lines that can ever be hardware-coherent
+    get this token: a line that boots SWcc and has no ``to_hwcc`` in
+    its alphabet is resolved entirely at L3 and never touches a
+    directory (verified by `verify_independence`).
+
+``("lru", cluster)``
+    The cluster's L2/L1 recency *order* among modeled lines. Only
+    ``load``/``store`` carry it: they insert and touch entries, which
+    reorders ranks relative to every other resident line. The removal
+    and clean-in-place performed by ``wb``/``inv``/``evict`` and by
+    remote probes commute with rank observations of *other* lines
+    (relative order of survivors is preserved), so those kinds stay
+    line-scoped.
+
+SpecState's ``next_value`` counter is deliberately *not* a component:
+interleaving two independent writes hands out different raw counters,
+but the canonical key renames values in first-appearance order, so the
+post-states still collapse to the same orbit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Tuple
+
+Component = Tuple[object, ...]
+
+
+@dataclass(frozen=True)
+class KindFootprint:
+    """Which component families one action kind may read or write.
+
+    ``touches_lru`` marks kinds that insert/bump recency state in the
+    initiating cluster; ``needs_directory`` marks kinds that may
+    allocate, mutate, or release a directory entry for the target line
+    (the token is emitted only when the line is dir-capable).
+    """
+
+    touches_lru: bool = False
+    needs_directory: bool = True
+
+
+#: Declared footprint per action kind. Selfcheck rule S003 enforces
+#: that every kind constructed in ``mc/actions.py`` appears here, and
+#: ``verify_independence`` checks the declarations against reality.
+FOOTPRINTS: Dict[str, KindFootprint] = {
+    "load": KindFootprint(touches_lru=True),
+    "store": KindFootprint(touches_lru=True),
+    "atomic": KindFootprint(),
+    "wb": KindFootprint(),
+    "inv": KindFootprint(),
+    "evict": KindFootprint(),
+    "to_swcc": KindFootprint(),
+    "to_hwcc": KindFootprint(),
+}
+
+
+@dataclass(frozen=True)
+class FootprintContext:
+    """Per-model geometry the footprint of a concrete action needs.
+
+    Built once per `ModelConfig` from a freshly constructed machine
+    (geometry is deterministic given the config), then shared by every
+    worker. ``line_class[slot]`` is the fused aliasing class of line
+    slot ``slot``; ``dir_capable[slot]`` says whether that line can
+    ever be hardware-coherent; ``dir_bank[slot]`` is its directory
+    bank.
+    """
+
+    line_class: Tuple[int, ...]
+    dir_bank: Tuple[int, ...]
+    dir_capable: Tuple[bool, ...]
+    slot_of_line: Dict[int, int]
+
+    def footprint(self, action) -> FrozenSet[Component]:
+        slot = self.slot_of_line[action.line]
+        kf = FOOTPRINTS[action.kind]
+        comps = [("line", self.line_class[slot])]
+        if kf.needs_directory and self.dir_capable[slot]:
+            comps.append(("dir", self.dir_bank[slot]))
+        if kf.touches_lru:
+            comps.append(("lru", action.cluster))
+        return frozenset(comps)
+
+    def independent(self, a, b) -> bool:
+        return not (self.footprint(a) & self.footprint(b))
+
+
+def build_context(model, machine) -> FootprintContext:
+    """Compute the aliasing classes and directory reach of a model."""
+    ms = machine.memsys
+    cluster = machine.clusters[0]
+    n = len(model.lines)
+    parent = list(range(n))
+
+    def find(i: int) -> int:
+        while parent[i] != i:
+            parent[i] = parent[parent[i]]
+            i = parent[i]
+        return i
+
+    def union(i: int, j: int) -> None:
+        ri, rj = find(i), find(j)
+        if ri != rj:
+            parent[max(ri, rj)] = min(ri, rj)
+
+    # Fuse lines that can collide in any cache: the same L2 set, the
+    # same L1D set, or the same L3 (bank, set). A fill of one can then
+    # evict the other, so actions on them do not commute in general.
+    def resource_keys(line: int):
+        bank = ms.map.bank_of_line(line)
+        yield ("l2", cluster.l2.set_index(line))
+        yield ("l1d", cluster.l1d[0].set_index(line))
+        yield ("l3", bank, ms.l3[bank].set_index(line))
+
+    seen: Dict[tuple, int] = {}
+    for slot, ls in enumerate(model.lines):
+        for key in resource_keys(ls.line):
+            if key in seen:
+                union(seen[key], slot)
+            else:
+                seen[key] = slot
+    roots = sorted({find(i) for i in range(n)})
+    class_of_root = {r: c for c, r in enumerate(roots)}
+    line_class = tuple(class_of_root[find(i)] for i in range(n))
+
+    dir_bank = tuple(ms.map.bank_of_line(ls.line) for ls in model.lines)
+    dir_capable = tuple(
+        (not ms.fine.is_swcc(ls.line)) or ("to_hwcc" in ls.actions)
+        for ls in model.lines)
+    slot_of_line = {ls.line: slot for slot, ls in enumerate(model.lines)}
+    return FootprintContext(line_class=line_class, dir_bank=dir_bank,
+                            dir_capable=dir_capable,
+                            slot_of_line=slot_of_line)

@@ -139,4 +139,17 @@ PRESETS: Dict[str, ModelConfig] = {
         n_clusters=4,
         lines=(LineSpec.at(INCOHERENT_HEAP, words=(0,)),),
     ),
+    "deep-lines": ModelConfig(
+        name="deep-lines",
+        description=("2 clusters, three interchangeable SWcc-heap lines "
+                     "(load/store) -- 158,203 plain states, beyond the "
+                     "60k cap; closes exhaustively only under the "
+                     "line-symmetry + sleep-set reduction"),
+        n_clusters=2,
+        lines=tuple(
+            LineSpec.at(INCOHERENT_HEAP + 0x20 * i,
+                        actions=("load", "store"))
+            for i in range(3)),
+        max_states=60_000,
+    ),
 }

@@ -13,13 +13,23 @@ hardware tolerates (software that wanted the new value must invalidate
 before the transition).
 
 **canonical_key** -- a hashable fingerprint of everything that can
-influence future protocol behaviour, reduced under two symmetries:
+influence future protocol behaviour, reduced under three symmetries:
 
 * *cluster permutation*: cluster ids are interchangeable (same caches,
   same network position at this scale), so the key is the minimum over
   all relabelings of the clusters;
+* *line permutation* (optional; see :mod:`repro.mc.reduce`): modeled
+  lines proven interchangeable -- same word set, same action alphabet,
+  same boot domain, equivalent bank/set infrastructure -- may be
+  relabeled too, so the key is additionally minimised over the line
+  permutations the caller passes in;
 * *value renaming*: write-counter values are opaque, so they are
   renamed in first-appearance order while walking the state.
+
+To make line relabeling well defined, the extracted state is indexed
+throughout by *line slot* (position in ``model.lines``), never by raw
+address: the spec memory is grouped per slot and the stale whitelist is
+held as ``(cluster, slot, word-position)`` triples.
 
 Deliberately excluded: timing backlog, message counters, statistics,
 and the L3 residency of fine-table lines (all timing-only), plus LRU
@@ -86,11 +96,22 @@ class SpecState:
             self.stale.discard(item)
 
 
-def canonical_key(machine, model, spec: SpecState) -> tuple:
-    """Symmetry-reduced fingerprint of (machine, spec) protocol state."""
+def canonical_key(machine, model, spec: SpecState,
+                  line_perms: Optional[Tuple[Tuple[int, ...], ...]] = None,
+                  ) -> tuple:
+    """Symmetry-reduced fingerprint of (machine, spec) protocol state.
+
+    ``line_perms``, when given, is a set of line-slot permutations the
+    caller has proven sound (see :func:`repro.mc.reduce.line_symmetry`);
+    the key is then the minimum over cluster orders x line perms.
+    """
     raw = extract_state(machine, model, spec)
     n = machine.config.n_clusters
-    return min(render_signature(raw, order)
+    if line_perms is None:
+        return min(render_signature(raw, order)
+                   for order in permutations(range(n)))
+    return min(render_signature(raw, order, lineperm)
+               for lineperm in line_perms
                for order in permutations(range(n)))
 
 
@@ -142,19 +163,42 @@ def extract_state(machine, model, spec: SpecState) -> tuple:
         cluster_part.append((tuple(entries),
                              tuple(i for _lru, i in l2_rank),
                              tuple(i for _lru, i in l1_rank)))
-    mem_part = tuple(spec.expected(a) for a in model.word_addrs())
+    mem_part = tuple(
+        tuple(spec.expected(line_base(ls.line) + w * WORD_BYTES)
+              for w in ls.words)
+        for ls in model.lines)
+    slot_of_line = {ls.line: slot for slot, ls in enumerate(model.lines)}
+    stale_part = []
+    for cid, word_addr in spec.stale:
+        line = word_addr >> LINE_SHIFT
+        slot = slot_of_line[line]
+        word = (word_addr - line_base(line)) // WORD_BYTES
+        stale_part.append((cid, slot, model.lines[slot].words.index(word)))
     return (tuple(lines_part), tuple(cluster_part), mem_part,
-            frozenset(spec.stale))
+            frozenset(stale_part))
 
 
-def render_signature(raw, order: Tuple[int, ...]) -> tuple:
-    """Signature of ``raw`` under one cluster relabeling.
+def render_signature(raw, order: Tuple[int, ...],
+                     lineperm: Optional[Tuple[int, ...]] = None) -> tuple:
+    """Signature of ``raw`` under one cluster (and line) relabeling.
 
     Values are renamed in first-appearance order along the walk, so two
     states differing only in which opaque write counters they hold (or
-    in interchangeable cluster ids) render identically.
+    in interchangeable cluster/line ids) render identically.
+
+    ``lineperm`` maps rendered position -> source line slot; position
+    ``p`` of the signature describes line slot ``lineperm[p]``. ``None``
+    means identity (no line relabeling).
     """
     lines_part, cluster_part, mem_part, stale = raw
+    n_lines = len(lines_part)
+    if lineperm is None:
+        lineperm = tuple(range(n_lines))
+        posof = lineperm
+    else:
+        posof = [0] * n_lines
+        for pos, src in enumerate(lineperm):
+            posof[src] = pos
     rename: Dict[int, int] = {}
     rget = rename.get
     slot = {cid: i for i, cid in enumerate(order)}
@@ -167,7 +211,8 @@ def render_signature(raw, order: Tuple[int, ...]) -> tuple:
         return r
 
     parts: List[object] = []
-    for fine_bit, dir_raw, l3_raw in lines_part:
+    for pos in range(n_lines):
+        fine_bit, dir_raw, l3_raw = lines_part[lineperm[pos]]
         parts.append(fine_bit)
         if dir_raw is None:
             parts.append((0,))
@@ -178,13 +223,15 @@ def render_signature(raw, order: Tuple[int, ...]) -> tuple:
         parts.append(_render_entry(l3_raw, val))
     for cid in order:
         entries, l2_rank, l1_rank = cluster_part[cid]
-        for e2_raw, e1_raw in entries:
+        for pos in range(n_lines):
+            e2_raw, e1_raw = entries[lineperm[pos]]
             parts.append(_render_entry(e2_raw, val))
             parts.append(_render_entry(e1_raw, val))
-        parts.append(l2_rank)
-        parts.append(l1_rank)
-    parts.append(tuple(val(v) for v in mem_part))
-    parts.append(tuple(sorted((slot[c], a) for c, a in stale)))
+        parts.append(tuple(posof[s] for s in l2_rank))
+        parts.append(tuple(posof[s] for s in l1_rank))
+    for pos in range(n_lines):
+        parts.append(tuple(val(v) for v in mem_part[lineperm[pos]]))
+    parts.append(tuple(sorted((slot[c], posof[s], w) for c, s, w in stale)))
     return tuple(parts)
 
 

@@ -47,6 +47,42 @@ class TestExploreCommand:
         assert "`smoke`" in row and "exhaustive" in row and "clean" in row
 
 
+class TestReductionFlags:
+    def test_reduction_line_printed_by_default(self, capsys):
+        assert main(["mc", "--preset", "smoke", "--quiet"]) == 0
+        assert "reduction:" in capsys.readouterr().out
+
+    def test_no_reduce_restores_plain_output(self, capsys):
+        assert main(["mc", "--preset", "smoke", "--quiet",
+                     "--no-reduce"]) == 0
+        assert "reduction:" not in capsys.readouterr().out
+
+    def test_equality_gate_smoke_exit_zero(self, capsys):
+        assert main(["mc", "--preset", "smoke", "--quiet",
+                     "--equality-gate"]) == 0
+        out = capsys.readouterr().out
+        assert "equality gate" in out
+        assert "orbits" in out and "FAIL" not in out
+
+    def test_equality_gate_json(self, capsys):
+        assert main(["mc", "--preset", "smoke", "--quiet",
+                     "--equality-gate", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+        assert set(payload["checks"]) == \
+            {"verdict", "violations", "coverage", "orbits"}
+
+    def test_out_writes_trajectory(self, capsys, tmp_path):
+        assert main(["mc", "--preset", "smoke", "--quiet",
+                     "--out", str(tmp_path)]) == 0
+        [path] = tmp_path.glob("MC_*.json")
+        payload = json.loads(path.read_text())
+        assert payload["result"]["preset"] == "smoke"
+        assert payload["levels"][0]["depth"] == 0
+        assert payload["levels"][-1]["states"] == \
+            payload["result"]["states"]
+
+
 class TestMutationFlow:
     def test_mutation_caught_exit_one(self, capsys):
         code = main(["mc", "--preset", "smoke", "--quiet",

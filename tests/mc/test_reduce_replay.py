@@ -1,0 +1,50 @@
+"""Counterexamples found *under reduction* replay on the plain machinery.
+
+The reduction must not cost the checker its bug-finding teeth, and the
+traces it emits must be concrete action sequences -- not canonical-frame
+artifacts -- so the unreduced replayer reproduces them step for step.
+"""
+
+import pytest
+
+from repro.mc import MUTATIONS, PRESETS, explore
+from repro.mc.trace import load_trace, replay, write_trace
+
+
+def preset_for(name: str) -> str:
+    # The sparse-conflict bug only fires under directory pressure.
+    return "direvict" if name == "ignore-sparse-conflict" else "smoke"
+
+
+@pytest.mark.parametrize("name", sorted(MUTATIONS))
+def test_reduced_exploration_catches_and_replays(name, tmp_path):
+    mutation = MUTATIONS[name]
+    result = explore(PRESETS[preset_for(name)], mutation=name,
+                     reduce=True, max_states=20_000)
+    assert not result.ok, f"{name} survived reduced exploration"
+    assert result.trace is not None
+    assert len(result.trace) <= 4
+    assert any(mutation.expect in v for v in result.violations)
+
+    path = tmp_path / "trace.json"
+    write_trace(str(path), result)
+    outcome = replay(load_trace(str(path)))
+    assert outcome["reproduced"]
+    assert outcome["failing_step"] == len(result.trace)
+
+
+@pytest.mark.parametrize("name", sorted(MUTATIONS))
+def test_reduced_trace_no_longer_than_unreduced(name):
+    preset = PRESETS[preset_for(name)]
+    reduced = explore(preset, mutation=name, reduce=True, max_states=20_000)
+    unreduced = explore(preset, mutation=name, max_states=20_000)
+    assert len(reduced.trace) <= len(unreduced.trace)
+
+
+def test_parallel_reduced_counterexample_replays(tmp_path):
+    result = explore(PRESETS["smoke"], mutation="skip-merge-writeback",
+                     reduce=True, jobs=2, max_states=20_000)
+    assert not result.ok
+    path = tmp_path / "trace.json"
+    write_trace(str(path), result)
+    assert replay(load_trace(str(path)))["reproduced"]
