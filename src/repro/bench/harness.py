@@ -78,13 +78,14 @@ def _max_rss_kb() -> int:
     return int(rss)
 
 
-def _spec_cell(spec: BenchSpec, reps: int, use_cache: bool = False) -> Cell:
+def _spec_cell(spec: BenchSpec, reps: int, use_cache: bool = False,
+               backend: str = "interp") -> Cell:
     """Encode a spec as a picklable parallel Cell for the bench worker."""
     from repro.analysis.experiments import ExperimentConfig
     from repro.cli import policy_from_name
 
     exp = ExperimentConfig(n_clusters=spec.n_clusters, scale=spec.scale,
-                           track_data=spec.track_data)
+                           track_data=spec.track_data, backend=backend)
     return Cell.make(spec.workload, policy_from_name(spec.policy), exp,
                      label=spec.key, _bench_reps=reps,
                      _bench_cache=use_cache)
@@ -207,7 +208,8 @@ def _static_lint_counts(cell: Cell) -> Optional[Dict[str, int]]:
 def run_bench(specs: Optional[Sequence[BenchSpec]] = None, reps: int = 1,
               jobs: Optional[int] = None,
               progress: Optional[ProgressFn] = None,
-              use_cache: bool = False) -> Dict[str, object]:
+              use_cache: bool = False,
+              backend: Optional[str] = None) -> Dict[str, object]:
     """Run the matrix and return the full schema-versioned document.
 
     ``use_cache=False`` (the default) forces the reuse layer off inside
@@ -215,13 +217,23 @@ def run_bench(specs: Optional[Sequence[BenchSpec]] = None, reps: int = 1,
     lets hits be served (and timed) from the result cache, recording
     per-cell statuses and a document-level hit rate so cached and
     uncached runs can never be silently compared.
+
+    ``backend`` selects the executor (default: ``$REPRO_BACKEND`` or
+    the interpreter) and is recorded in the document; simulated
+    counters are bit-identical across backends, so ``--compare``
+    against a baseline measured with the other backend is exactly the
+    cross-backend drift gate.
     """
+    if backend is None:
+        from repro.analysis.experiments import _env_backend
+
+        backend = _env_backend()
     specs = list(PINNED_MATRIX if specs is None else specs)
     if not specs:
         raise SimulationError("no cells selected")
     if reps < 1:
         raise SimulationError(f"reps must be >= 1; got {reps}")
-    cells = [_spec_cell(spec, reps, use_cache) for spec in specs]
+    cells = [_spec_cell(spec, reps, use_cache, backend) for spec in specs]
     results = run_cells(cells, jobs=jobs, progress=progress,
                         worker=_bench_cell)
     doc: Dict[str, object] = {
@@ -233,6 +245,7 @@ def run_bench(specs: Optional[Sequence[BenchSpec]] = None, reps: int = 1,
         "jobs": min(resolve_jobs(jobs), len(specs)),
         "reps": reps,
         "cache": bool(use_cache),
+        "backend": backend,
         "cells": {},
     }
     if use_cache:

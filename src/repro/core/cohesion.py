@@ -37,7 +37,7 @@ from repro.coherence.messages import MessageCounters
 from repro.core.region_table import CoarseRegionTable, FineRegionTable
 from repro.errors import ProtocolError
 from repro.interconnect.network import Network
-from repro.mem.address import FULL_WORD_MASK, line_of
+from repro.mem.address import FULL_WORD_MASK, WORDS_PER_LINE, line_of
 from repro.mem.backing import BackingStore, NullBackingStore
 from repro.mem.cache import Cache, CacheLine
 from repro.mem.dram import DramModel
@@ -83,6 +83,13 @@ class MemorySystem:
         self._bank_memo: dict = {}
         self._chan_of_bank = [self.map.channel_of_bank(b)
                               for b in range(config.l3_banks)]
+        # Pure-SWcc / pure-HWcc policies resolve every request the same
+        # way; precompute that answer so _resolve_domain skips the enum
+        # identity checks on the per-miss hot path. None = hybrid
+        # (Cohesion), resolved dynamically.
+        kind = policy.kind
+        self._fixed_domain = (True if kind is PolicyKind.SWCC else
+                              False if kind is PolicyKind.HWCC else None)
         self.dirs: List[BaseDirectory] = []
         self.dir_occupancy = None
         if policy.uses_directory:
@@ -244,16 +251,72 @@ class MemorySystem:
             cache.misses += 1
         if entry is None:
             if need_data:
-                t = self.dram.access(self._chan_of_bank[bank], t)
-                entry, victim = cache.allocate(line, FULL_WORD_MASK)
-                if victim is not None:
-                    self._l3_victim(bank, victim, t)
+                # Inlined DramModel.access (lines=1): same channel
+                # acquire, same counters, same completion time. The
+                # rare cases the inline cannot take verbatim -- an
+                # active obs bus (EV_DRAM must be emitted) or a
+                # transfer occupancy wider than one bucket -- delegate
+                # to the real method.
+                dram = self.dram
+                chan = self._chan_of_bank[bank]
+                occ_d = dram.occupancy_per_line
+                if self.obs.active or occ_d > BUCKET_CYCLES:
+                    t = dram.access(chan, t)
+                else:
+                    res = dram.channels.members[chan]
+                    res.acquisitions += 1
+                    res.total_busy += occ_d
+                    used_d = res._used
+                    db = int(t * _INV_BUCKET)
+                    df = used_d.get(db, 0.0)
+                    while df + occ_d > BUCKET_CYCLES:
+                        db += 1
+                        df = used_d.get(db, 0.0)
+                    used_d[db] = df + occ_d
+                    start = db * BUCKET_CYCLES
+                    if t > start:
+                        start = t
+                    dram.accesses[chan] += 1
+                    t = start + dram.latency + occ_d
+            # Inlined Cache.allocate. The probe above just missed and
+            # nothing since has inserted the line, so allocate()'s
+            # merge-with-existing branch is unreachable here; the LRU
+            # scan, counters and tick sequence are identical. A clean
+            # (or already written-back) victim's CacheLine object is
+            # recycled as the new entry -- every L3 miss evicts once
+            # the bank warms up, and no caller holds an L3 entry across
+            # a subsequent access (see the call sites), so the rewrite
+            # is invisible.
+            vm0 = FULL_WORD_MASK if need_data else write_mask
+            bucket2 = cache.sets[line % cache.n_sets]
+            cache._tick += 1
+            if len(bucket2) >= cache.assoc:
+                victim_line = -1
+                best = None
+                for ln, resident in bucket2.items():
+                    lru = resident.lru
+                    if best is None or lru < best:
+                        best = lru
+                        victim_line = ln
+                entry = bucket2.pop(victim_line)
+                cache.evictions += 1
+                if entry.dirty_mask:
+                    self._l3_victim(bank, entry, t)
+                entry.line = line
+                entry.valid_mask = vm0
+                entry.dirty_mask = 0
+                entry.incoherent = False
                 if entry.data is not None:
-                    entry.data[:] = self.backing.read_line(line)
+                    entry.data[:] = (0,) * WORDS_PER_LINE
             else:
-                entry, victim = cache.allocate(line, valid_mask=write_mask)
-                if victim is not None:
-                    self._l3_victim(bank, victim, t)
+                entry = CacheLine(
+                    line, vm0, 0, False,
+                    [0] * WORDS_PER_LINE if cache.track_data else None)
+            entry.lru = cache._tick
+            bucket2[line] = entry
+            cache._occupied[line % cache.n_sets] = None
+            if need_data and entry.data is not None:
+                entry.data[:] = self.backing.read_line(line)
         elif need_data and not entry.fully_valid:
             # Partially valid line (accumulated SWcc writebacks): merge the
             # missing words from memory before serving a full-line read.
@@ -279,11 +342,9 @@ class MemorySystem:
     # -- domain resolution (Section 3.4 front-end order) ---------------------------
     def _resolve_domain(self, line: int, bank: int, t: float) -> Tuple[bool, float]:
         """Return (is_swcc, time) for a request arriving at ``t``."""
-        kind = self.policy.kind
-        if kind is PolicyKind.SWCC:
-            return True, t
-        if kind is PolicyKind.HWCC:
-            return False, t
+        fixed = self._fixed_domain
+        if fixed is not None:
+            return fixed, t
         if self.dirs[bank].get(line) is not None:
             return False, t
         if self.coarse.lookup_line(line):

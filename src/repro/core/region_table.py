@@ -34,6 +34,16 @@ class CoarseRegion:
     size: int
     valid: bool = True
     name: str = ""
+    #: Owning table, set by :meth:`CoarseRegionTable.add`; flipping
+    #: ``valid`` must drop the table's per-line lookup memo.
+    _table: object = None
+
+    def __setattr__(self, key, value):
+        object.__setattr__(self, key, value)
+        if key == "valid":
+            table = getattr(self, "_table", None)
+            if table is not None:
+                table._line_memo.clear()
 
     @property
     def end(self) -> int:
@@ -53,6 +63,10 @@ class CoarseRegionTable:
             raise RegionError("coarse table capacity must be positive")
         self.capacity = capacity
         self._regions: List[CoarseRegion] = []
+        # Per-line lookup memo. The table is written a handful of times
+        # at boot and read on every L2 miss, so the linear region scan
+        # is worth caching; add()/remove() invalidate wholesale.
+        self._line_memo: dict = {}
 
     def add(self, start: int, size: int, name: str = "") -> CoarseRegion:
         if size <= 0:
@@ -65,7 +79,9 @@ class CoarseRegionTable:
         for other in self._regions:
             if other.valid and start < other.end and other.start < region.end:
                 raise RegionError(f"region {name!r} overlaps {other.name!r}")
+        region._table = self
         self._regions.append(region)
+        self._line_memo.clear()
         return region
 
     def remove(self, region: CoarseRegion) -> None:
@@ -73,6 +89,7 @@ class CoarseRegionTable:
             self._regions.remove(region)
         except ValueError:
             raise RegionError("region not present in coarse table") from None
+        self._line_memo.clear()
 
     def lookup(self, addr: int) -> bool:
         """True if ``addr`` falls in any valid SWcc coarse region."""
@@ -82,7 +99,11 @@ class CoarseRegionTable:
         return False
 
     def lookup_line(self, line: int) -> bool:
-        return self.lookup(line_base(line))
+        memo = self._line_memo
+        hit = memo.get(line)
+        if hit is None:
+            hit = memo[line] = self.lookup(line_base(line))
+        return hit
 
     def __iter__(self) -> Iterator[CoarseRegion]:
         return iter(self._regions)

@@ -1,0 +1,392 @@
+"""Vectorized batch executor backend over frozen op arrays.
+
+:class:`VecExecutor` consumes the typed-column tables that freeze time
+attaches to every :class:`~repro.runtime.program.FrozenPhase`
+(:class:`~repro.runtime.program.VecPhase`, format 2 artifacts) and
+executes maximal same-line load runs in O(1) per *run* instead of O(1)
+per *op*: the precomputed ``run_end``/``run_need`` tables reduce the
+interpreter's innermost batch loop to a single ``valid_mask`` test plus
+one aggregate clock/LRU/hit update. Everything the tables cannot prove
+regular -- stores, atomics, ifetches, WB/INV flushes, loads whose run
+mask misses in the L1, runs carrying expected values on ``track_data``
+machines, and any op while the obs bus is enabled -- falls back to a
+literal copy of the interpreter's dispatch, so the protocol state
+machines in :mod:`repro.sim.cluster` remain the single source of truth
+and every observable (RunStats, MessageCounters, obs event streams,
+cached result digests) stays bit-identical to ``--backend interp``
+(pinned by ``tests/runtime/test_vec_executor.py`` and selfcheck S004).
+
+A second structural win rides along: the interpreter copies each task's
+op span out of the flat phase array into a per-task list
+(``ops.extend(flat_ops[lo:hi])``); this backend indexes the flat array
+virtually (head ops = ifetch prefix + stack block, body = the
+``[lo, hi)`` span), so dequeuing a task allocates only the short head.
+
+The per-op fallback **must** mirror ``BspExecutor._execute_slice``
+exactly -- slice boundaries included: a slice may start in the head and
+end inside the body, and a same-line batch run may span the junction.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List
+
+from repro.errors import SimulationError
+from repro.mem.address import LINE_SHIFT, WORD_SHIFT, WORDS_PER_LINE
+from repro.obs.bus import EV_BARRIER, EV_IFETCH, EV_LOAD, EV_STORE, ObsEvent
+from repro.runtime.executor import (BARRIER_RELEASE_COST, _STAGE_DRAIN,
+                                    _STAGE_WAITING, _add, _CoreState,
+                                    BspExecutor)
+from repro.runtime.program import vectorize_phase
+from repro.timing import BUCKET_CYCLES, _INV_BUCKET
+from repro.types import (OP_ATOMIC, OP_BARRIER, OP_COMPUTE, OP_IFETCH,
+                         OP_INV, OP_LOAD, OP_STORE, OP_WB)
+
+#: Opcodes the vectorized tables classify and the batched run paths can
+#: consume whole (loads in O(1) per run, stores through one inlined
+#: same-line protocol loop). Names (not values) so tools/selfcheck.py
+#: rule S004 can audit coverage statically against the interpreter
+#: dispatch.
+VEC_OPCODES = frozenset({"OP_LOAD", "OP_STORE"})
+
+#: Opcodes the backend executes through the interpreter-identical
+#: fallback dispatch (protocol machinery stays the single source of
+#: truth). Together with :data:`VEC_OPCODES` this must cover every kind
+#: the interpreter dispatches -- selfcheck rule S004 enforces it.
+VEC_FALLBACK = frozenset({"OP_COMPUTE", "OP_IFETCH", "OP_ATOMIC",
+                          "OP_WB", "OP_INV", "OP_BARRIER"})
+
+
+class _VecCoreState(_CoreState):
+    """Core state with a virtual op stream: head list + flat body span.
+
+    ``ops`` holds only the per-task head (ifetch prefix + stack block, or
+    the barrier/drain ops); the task body lives in the phase's flat op
+    array as the span ``[lo, hi)``. The virtual stream length is
+    ``len(ops) + hi - lo`` and virtual index ``ip`` maps to flat index
+    ``ip + (lo - len(ops))`` once past the head.
+    """
+
+    __slots__ = ("lo", "hi")
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.lo = 0
+        self.hi = 0
+
+
+class VecExecutor(BspExecutor):
+    """Batch backend; select with ``--backend vec`` / ``REPRO_BACKEND``.
+
+    Scheduling (clock heap, dequeue costs, barrier accounting) is
+    inherited unchanged; only phase setup and the slice loop differ.
+    """
+
+    # -- phase machinery ------------------------------------------------------
+    def _run_phase(self, phase) -> None:
+        machine = self.machine
+        vec = phase.vec
+        if vec is None:
+            # Phase frozen without tables (plain Program run, or a v1-era
+            # artifact thawed mid-flight): build them once, lazily.
+            vec = phase.vec = vectorize_phase(phase)
+        self._flat = phase.ops
+        self._vline = vec.line
+        self._vaddr = vec.addr
+        self._vword = vec.word
+        self._vvalue = vec.value
+        self._vrun_end = vec.run_end
+        self._vrun_need = vec.run_need
+        self._vrun_exp = vec.run_exp
+        n_cores = machine.config.n_cores
+        per_cluster = machine.config.cores_per_cluster
+        bounds = phase.bounds
+        input_lines = phase.input_lines
+        stack_words = phase.stack_words
+        n_tasks = phase.n_tasks
+        prefix = self._code_prefix_for(phase.code_addr, phase.code_lines)
+        head = 0
+        states = [_VecCoreState() for _ in range(n_cores)]
+        heap = [(machine.core_clocks[core], core) for core in range(n_cores)]
+        heapq.heapify(heap)
+        arrivals: List[float] = []
+        heappop = heapq.heappop
+        heappush = heapq.heappush
+        clusters = machine.clusters
+        execute_slice = self._execute_slice
+
+        while heap:
+            now, core = heappop(heap)
+            state = states[core]
+            cluster = clusters[core // per_cluster]
+            local = core % per_cluster
+
+            if state.ip >= len(state.ops) + state.hi - state.lo:
+                if state.stage == _STAGE_DRAIN:
+                    state.stage = _STAGE_WAITING
+                    arrivals.append(now)
+                    continue
+                if head < n_tasks:
+                    now = self._dequeue(cluster, local, core, head, now)
+                    ops = list(prefix)
+                    if stack_words[head]:
+                        ops.extend(self._stack_block(core, stack_words[head]))
+                    state.ops = ops
+                    state.ip = 0
+                    state.lo = bounds[head]
+                    state.hi = bounds[head + 1]
+                    state.inputs.update(input_lines[head])
+                    head += 1
+                    self.tasks_executed += 1
+                else:
+                    state.ops = self._barrier_ops(state)
+                    state.ip = 0
+                    state.lo = 0
+                    state.hi = 0
+                    state.stage = _STAGE_DRAIN
+                heappush(heap, (now, core))
+                continue
+
+            now = execute_slice(cluster, local, core, state, now)
+            heappush(heap, (now, core))
+
+        if len(arrivals) != n_cores:
+            raise SimulationError(
+                f"phase {phase.name!r}: {len(arrivals)}/{n_cores} cores "
+                "reached the barrier")
+        release = max(arrivals) + BARRIER_RELEASE_COST
+        for core in range(n_cores):
+            machine.core_clocks[core] = release
+        self.barriers += 1
+        obs = self._obs
+        if obs.active:
+            obs.emit(ObsEvent(release, EV_BARRIER, detail=phase.name))
+        if phase.after is not None:
+            phase.after(machine)
+
+    # -- op dispatch -----------------------------------------------------------
+    def _execute_slice(self, cluster, local: int, core: int,
+                      state: _VecCoreState, now: float) -> float:
+        """Execute up to ``ops_per_slice`` ops of one core's stream.
+
+        Body loads first try the O(1) run path: if the whole run's
+        ``run_need`` mask is valid in the probed L1 entry (and the obs
+        bus is off, and ``track_data`` has nothing to verify in the
+        run), the run is consumed with one aggregate update -- ``n``
+        consecutive interpreter iterations perform exactly ``now += n``,
+        ``tick += n``, ``hits += n`` with the entry aged to the final
+        tick, and no other access can observe the intermediate values.
+        Every other case falls through to the interpreter-identical
+        dispatch below (kept a line-for-line copy of
+        ``BspExecutor._execute_slice`` modulo virtual indexing).
+        """
+        ops = state.ops
+        nhead = len(ops)
+        lo = state.lo
+        flat = self._flat
+        off = lo - nhead
+        ip = state.ip
+        start_ip = ip
+        end = min(nhead + state.hi - lo, ip + self.ops_per_slice)
+        obs = self._obs
+        obs_active = obs.active
+        check_loads = self._check_loads
+        mismatches = self.load_mismatches
+        l1 = cluster.l1d[local]
+        l1_sets = l1.sets
+        l1_nsets = l1.n_sets
+        l1i = cluster.l1i[local]
+        word_mask = WORDS_PER_LINE - 1
+        vline = self._vline
+        vaddr = self._vaddr
+        vword = self._vword
+        vvalue = self._vvalue
+        vrun_end = self._vrun_end
+        vrun_need = self._vrun_need
+        vrun_exp = self._vrun_exp
+        while ip < end:
+            if ip < nhead:
+                op = ops[ip]
+                fi = -1
+            else:
+                fi = ip + off
+                op = flat[fi]
+            kind = op[0]
+            if kind == OP_LOAD:
+                if fi >= 0 and not obs_active and not (
+                        check_loads and vrun_exp[fi]):
+                    line = vline[fi]
+                    e1 = l1_sets[line % l1_nsets].get(line)
+                    if e1 is not None:
+                        need = vrun_need[fi]
+                        if (e1.valid_mask & need) == need:
+                            n = vrun_end[fi] - fi
+                            rem = end - ip
+                            if rem < n:
+                                n = rem
+                            now += n
+                            ip += n
+                            tick = l1._tick + n
+                            l1._tick = tick
+                            e1.lru = tick
+                            l1.hits += n
+                            continue
+                addr = op[1]
+                line = addr >> LINE_SHIFT
+                e1 = l1_sets[line % l1_nsets].get(line)
+                if e1 is not None and \
+                        (e1.valid_mask >> ((addr >> WORD_SHIFT) & word_mask)) & 1:
+                    run = 0
+                    while True:
+                        run += 1
+                        if obs_active:
+                            word = (addr >> WORD_SHIFT) & word_mask
+                            obs.emit(ObsEvent(
+                                now, EV_LOAD, cluster.id, local, line,
+                                addr,
+                                e1.data[word] if e1.data is not None else 0,
+                                1.0))
+                        now += 1
+                        if check_loads and len(op) > 2:
+                            word = (addr >> WORD_SHIFT) & word_mask
+                            value = e1.data[word] if e1.data is not None else 0
+                            if value != op[2] and len(mismatches) < 100:
+                                mismatches.append((addr, op[2], value))
+                        ip += 1
+                        if ip >= end:
+                            break
+                        op = ops[ip] if ip < nhead else flat[ip + off]
+                        if op[0] != OP_LOAD:
+                            break
+                        addr = op[1]
+                        if (addr >> LINE_SHIFT) != line or not \
+                                ((e1.valid_mask >> ((addr >> WORD_SHIFT)
+                                                    & word_mask)) & 1):
+                            break
+                    tick = l1._tick + run
+                    l1._tick = tick
+                    e1.lru = tick
+                    l1.hits += run
+                    continue
+                now, value = cluster.load(local, addr, now)
+                if len(op) > 2 and check_loads and value != op[2]:
+                    if len(mismatches) < 100:
+                        mismatches.append((addr, op[2], value))
+            elif kind == OP_STORE:
+                # Batched same-line store run (the paper's batched SWcc
+                # per-word dirty-mask updates). Preconditions mirror one
+                # interpreter iteration: the value column exact
+                # (run_exp) and the L2 holding the line
+                # incoherent-or-dirty -- the write-word path with no
+                # protocol message. The first store making the line
+                # dirty keeps the condition true for the rest of the
+                # run, so one entry check covers all n ops; everything
+                # else (upgrade, miss, SWcc write-allocate) falls
+                # through to :meth:`Cluster.store` per op. With the bus
+                # enabled each op of the batch announces itself exactly
+                # as Cluster.store would, at issue time.
+                if fi >= 0 and not vrun_exp[fi]:
+                    line = vline[fi]
+                    l2 = cluster.l2
+                    e2 = l2.sets[line % l2.n_sets].get(line)
+                    if e2 is not None and (e2.incoherent or e2.dirty_mask):
+                        n = vrun_end[fi] - fi
+                        rem = end - ip
+                        if rem < n:
+                            n = rem
+                        index = line % l1_nsets
+                        e1 = l1_sets[index].get(line)
+                        e1data = e1.data if e1 is not None else None
+                        if line in cluster._l1_present:
+                            # One sibling drop-scan stands for the run's
+                            # n: the first leaves the line in no sibling
+                            # L1 and nothing in the run re-installs it,
+                            # so scans 2..n would be no-ops.
+                            l1d = cluster.l1d
+                            for sibling in range(cluster.n_cores):
+                                if sibling != local:
+                                    sib = l1d[sibling]
+                                    bucket_ = sib.sets[index]
+                                    if line in bucket_:
+                                        del bucket_[line]
+                                        if not bucket_:
+                                            sib._occupied.pop(index, None)
+                        # Per-op issue timing must replay exactly: each
+                        # store's completion is the next one's issue
+                        # time and the port's bucket ledger fills
+                        # store by store.
+                        port = cluster.port
+                        occ = cluster.port_occ
+                        used = port._used
+                        lat = cluster.bus_latency + cluster.l2_latency
+                        e2data = e2.data
+                        vm = e2.valid_mask
+                        dm = e2.dirty_mask
+                        for fk in range(fi, fi + n):
+                            value = int(vvalue[fk])
+                            if obs_active:
+                                obs.emit(ObsEvent(now, EV_STORE, cluster.id,
+                                                  local, line, vaddr[fk],
+                                                  value))
+                            port.acquisitions += 1
+                            port.total_busy += occ
+                            bucket = int(now * _INV_BUCKET)
+                            filled = used.get(bucket, 0.0)
+                            while filled + occ > BUCKET_CYCLES:
+                                bucket += 1
+                                filled = used.get(bucket, 0.0)
+                            used[bucket] = filled + occ
+                            t = bucket * BUCKET_CYCLES
+                            if now > t:
+                                t = now
+                            now = t + lat
+                            word = vword[fk]
+                            if e1data is not None:
+                                e1data[word] = value
+                            bit = 1 << word
+                            vm |= bit
+                            dm |= bit
+                            if e2data is not None:
+                                e2data[word] = value
+                        e2.valid_mask = vm
+                        e2.dirty_mask = dm
+                        tick = l2._tick + n
+                        l2._tick = tick
+                        e2.lru = tick
+                        l2.hits += n
+                        ip += n
+                        continue
+                value = op[2] if len(op) > 2 else 0
+                now = cluster.store(local, op[1], value, now)
+            elif kind == OP_COMPUTE:
+                now += op[1]
+            elif kind == OP_IFETCH:
+                addr = op[1]
+                line = addr >> LINE_SHIFT
+                e1 = l1i.sets[line % l1i.n_sets].get(line)
+                if e1 is not None:
+                    l1i.touch(e1)
+                    if obs_active:
+                        obs.emit(ObsEvent(now, EV_IFETCH, cluster.id, local,
+                                          line, addr, None, 1.0))
+                    now += 1
+                else:
+                    now = cluster.ifetch(local, addr, now)
+            elif kind == OP_ATOMIC:
+                operand = op[2] if len(op) > 2 else 1
+                now, _v = cluster.atomic(local, op[1], _add, operand, now)
+            elif kind == OP_WB:
+                now = cluster.flush_line(local, op[1] >> LINE_SHIFT, now)
+            elif kind == OP_INV:
+                now = cluster.invalidate_line(local, op[1] >> LINE_SHIFT, now)
+            elif kind == OP_BARRIER:
+                raise SimulationError("explicit barrier ops are not allowed "
+                                      "inside tasks; phases imply barriers")
+            else:
+                raise SimulationError(f"unknown op kind {kind}")
+            ip += 1
+        state.ip = ip
+        self.ops_executed += ip - start_ip
+        self.machine.core_clocks[core] = now
+        return now

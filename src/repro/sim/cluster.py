@@ -52,7 +52,7 @@ class Cluster:
     __slots__ = ("id", "memsys", "counters", "l2", "l1d", "l1i", "port",
                  "bus_latency", "l2_latency", "port_occ", "swcc_all",
                  "uses_dir", "n_cores", "track_data", "_posted",
-                 "write_buffer_depth", "obs", "__dict__")
+                 "write_buffer_depth", "obs", "_l1_present", "__dict__")
 
 
     def __init__(self, cluster_id: int, config: MachineConfig, policy: Policy,
@@ -85,6 +85,12 @@ class Cluster:
         # unboundedly ahead of the network.
         self.write_buffer_depth = config.write_buffer_depth
         self._posted: deque = deque()
+        # Conservative superset of lines resident in *any* of this
+        # cluster's L1s. Fills add; the full drop-scan removes. L1
+        # victims evict silently, so stale members linger until the
+        # next drop -- that only costs a redundant (no-op) scan, never
+        # a skipped one, so counters and timing are unaffected.
+        self._l1_present: set = set()
 
     # -- internal helpers ---------------------------------------------------
     def _l2_start(self, now: float) -> float:
@@ -105,10 +111,14 @@ class Cluster:
         self._posted.append(completion)
 
     def _drop_l1(self, line: int) -> None:
+        present = self._l1_present
+        if line not in present:  # provably in no L1: the scan would no-op
+            return
         for cache in self.l1d:
             cache.discard(line)
         for cache in self.l1i:
             cache.discard(line)
+        present.discard(line)
 
     def _fill_l1(self, l1: Cache, entry: CacheLine) -> None:
         """Install an L2 line's current contents into a core's L1.
@@ -118,6 +128,7 @@ class Cluster:
         produce L1 hits on words that were never fetched. L1 victims
         are silent, so the recycling :meth:`Cache.fill` is used.
         """
+        self._l1_present.add(entry.line)
         copy = l1.fill(entry.line, entry.valid_mask)
         if copy.data is not None and entry.data is not None:
             copy.data[:] = entry.data
@@ -257,15 +268,17 @@ class Cluster:
         # Inlined Cache.discard: every store scans all siblings, and the
         # line is almost always absent, so the membership probe is the
         # whole cost. All per-core L1Ds share one geometry, so ``index``
-        # is computed once.
-        for sibling in range(self.n_cores):
-            if sibling != core:
-                cache = l1d[sibling]
-                bucket = cache.sets[index]
-                if line in bucket:
-                    del bucket[line]
-                    if not bucket:
-                        cache._occupied.pop(index, None)
+        # is computed once, and the whole scan is skipped when the
+        # cluster-wide L1 superset proves no copy exists.
+        if line in self._l1_present:
+            for sibling in range(self.n_cores):
+                if sibling != core:
+                    cache = l1d[sibling]
+                    bucket = cache.sets[index]
+                    if line in bucket:
+                        del bucket[line]
+                        if not bucket:
+                            cache._occupied.pop(index, None)
         # Fused _l2_start + Cache.lookup, as in load().
         port = self.port
         occ = self.port_occ
@@ -343,6 +356,7 @@ class Cluster:
             reply = self.memsys.read_line(self.id, line, t, instruction=True)
             entry = self._install(line, reply)
             t = reply.time
+        self._l1_present.add(line)
         l1.fill(line, FULL_WORD_MASK)
         obs = self.obs
         if obs.active:
@@ -468,12 +482,18 @@ class Cluster:
         mostly idle clusters per second.
         """
         self.l2.restore(snap["l2"])
+        present = self._l1_present
+        present.clear()
         for cache, cache_snap in zip(self.l1d, snap["l1d"]):
             if cache_snap or cache:
                 cache.restore(cache_snap)
+            for entry in cache_snap:
+                present.add(entry[0])
         for cache, cache_snap in zip(self.l1i, snap["l1i"]):
             if cache_snap or cache:
                 cache.restore(cache_snap)
+            for entry in cache_snap:
+                present.add(entry[0])
         self._posted.clear()
         self.port.reset()
 

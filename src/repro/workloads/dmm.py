@@ -14,10 +14,9 @@ integer arithmetic) and every store carries the true product entry, so a
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.runtime.program import Program
 from repro.workloads.base import Workload
+from repro.workloads.numpy_dep import require_numpy
 
 _BLOCK = 8
 
@@ -29,6 +28,7 @@ class DenseMatrixMultiply(Workload):
     code_lines = 8
 
     def _build(self) -> Program:
+        np = require_numpy("dmm")
         # One task per 8x8 block of C; size N so that tasks ~ 6x cores,
         # making the A/B panel stream per cluster far larger than the L2.
         blocks = max(2, int(round((6.0 * self.n_cores * self.scale) ** 0.5)))

@@ -16,10 +16,9 @@ loads prove each sweep observed the previous sweep's data.
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.runtime.program import Program
 from repro.workloads.base import Workload
+from repro.workloads.numpy_dep import require_numpy
 
 _COLS = 256  # words per row -> 1 KB -> 32 lines per row
 
@@ -37,6 +36,7 @@ class Heat2D(Workload):
     rows_per_core = 6
 
     def _build(self) -> Program:
+        np = require_numpy("heat")
         rows = self.scaled(self.rows_per_core * self.n_cores, minimum=6) + 2
         grid = np.zeros((self.sweeps + 1, rows, _COLS), dtype=np.int64)
         rng = np.random.default_rng(self.seed)

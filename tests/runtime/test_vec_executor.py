@@ -1,0 +1,257 @@
+"""Bit-identity suite for the vectorized executor backend.
+
+The ``vec`` backend may reorganise *how* work is dispatched (batched
+same-line load runs, batched store runs, aggregated LRU updates) but
+never *what* happens: every counter, every cycle, every observable
+event must match the reference interpreter exactly. These tests pin
+that contract from four angles:
+
+* full-stats equality over the eight paper kernels under each policy
+  family (with and without data tracking);
+* observable event-stream equality (the batched paths must emit the
+  same events at the same simulated times as the per-op interpreter);
+* generative equality over random well-synchronised BSP programs
+  (reusing the tier-1 generator), including value delivery;
+* cache-key neutrality -- the result cache deliberately keys cells
+  without the backend, which is only sound because of the above.
+
+The suite skips itself (except the packaging test) when numpy is not
+installed: the interpreter is the zero-dependency reference and must
+keep working alone.
+"""
+
+import os
+
+import pytest
+
+from repro import Machine, MachineConfig, Policy
+from repro.errors import SimulationError
+from repro.runtime.backends import resolve_backend
+from repro.runtime.program import Phase, Program, Task
+from repro.types import OP_COMPUTE, OP_LOAD, OP_STORE
+from repro.workloads import ALL_WORKLOADS, get_workload
+
+from tests.conftest import make_machine, policy_by_label
+
+try:
+    import numpy  # noqa: F401
+    HAVE_NUMPY = True
+except ImportError:  # pragma: no cover - exercised on minimal installs
+    HAVE_NUMPY = False
+
+needs_numpy = pytest.mark.skipif(not HAVE_NUMPY,
+                                 reason="vec backend requires numpy")
+
+#: Policy families whose protocol paths differ materially; the ideal
+#: variants share their code paths with these.
+POLICY_LABELS = ["swcc", "hwcc_real", "cohesion"]
+
+
+def _run_kernel(workload: str, policy_label: str, backend: str,
+                track_data: bool = True, scale: float = 0.5):
+    machine = make_machine(policy_by_label(policy_label),
+                           track_data=track_data)
+    program = get_workload(workload, scale=scale, seed=1234).build(machine)
+    stats = machine.run(program, backend=backend)
+    return machine, stats
+
+
+@needs_numpy
+class TestKernelEquality:
+    """stats.as_dict() equality: every counter the repo reports."""
+
+    @pytest.mark.parametrize("policy_label", POLICY_LABELS)
+    @pytest.mark.parametrize("workload", ALL_WORKLOADS)
+    def test_all_kernels_all_policies(self, workload, policy_label):
+        _, ref = _run_kernel(workload, policy_label, "interp")
+        _, vec = _run_kernel(workload, policy_label, "vec")
+        assert vec.as_dict() == ref.as_dict()
+        assert vec.load_mismatches == ref.load_mismatches
+
+    @pytest.mark.parametrize("workload", ["kmeans", "gjk"])
+    def test_untracked_data(self, workload):
+        """track_data=False flips the checked-load/value plumbing off;
+        the batched paths must stay identical there too."""
+        _, ref = _run_kernel(workload, "cohesion", "interp",
+                             track_data=False)
+        _, vec = _run_kernel(workload, "cohesion", "vec",
+                             track_data=False)
+        assert vec.as_dict() == ref.as_dict()
+
+    def test_state_identical_after_run(self):
+        """Every protocol-visible bit of machine state matches: cache
+        contents word for word, directory state, fine-table bits."""
+        m_ref, _ = _run_kernel("kmeans", "cohesion", "interp")
+        m_vec, _ = _run_kernel("kmeans", "cohesion", "vec")
+        assert m_vec.snapshot() == m_ref.snapshot()
+
+
+def _event_stream(machine, program, backend):
+    """Run under a wildcard obs subscription; return the full stream."""
+    events = []
+    machine.memsys.obs.subscribe(
+        lambda e: events.append((e.time, e.kind, e.cluster, e.core,
+                                 e.line, e.addr, e.value, e.dur,
+                                 e.detail)))
+    machine.run(program, backend=backend)
+    return events
+
+
+@needs_numpy
+class TestObsStreamEquality:
+    """The batched fast paths announce every event the interpreter
+    would -- same kind, same issue time, same payload, same order."""
+
+    @pytest.mark.parametrize("policy_label", POLICY_LABELS)
+    def test_kmeans_stream(self, policy_label):
+        streams = {}
+        for backend in ("interp", "vec"):
+            machine = make_machine(policy_by_label(policy_label))
+            program = get_workload("kmeans", scale=0.4,
+                                   seed=1234).build(machine)
+            streams[backend] = _event_stream(machine, program, backend)
+        assert streams["vec"] == streams["interp"]
+
+    def test_store_heavy_stream(self):
+        """Same-line store runs are the store batch's fast path; with
+        the bus active each op must still announce itself."""
+        base = 0x4000_0000
+        ops = []
+        for word in range(8):
+            ops.extend((OP_STORE, base + 4 * word, 7_000 + word)
+                       for _ in range(3))
+        task = Task(ops=ops, flush_lines=[base >> 5],
+                    input_lines=[base >> 5], stack_words=2)
+        program = Program("stores", [Phase("p0", [task], code_addr=0x10000,
+                                           code_lines=1)])
+        streams = {}
+        for backend in ("interp", "vec"):
+            machine = make_machine(Policy.swcc())
+            streams[backend] = _event_stream(machine, program, backend)
+        assert streams["vec"] == streams["interp"]
+
+
+@needs_numpy
+class TestEdgeCases:
+    def test_huge_store_values_fall_back_exactly(self):
+        """Values outside float64's exact-integer range (|v| >= 2**53)
+        cannot ride the value column; the run must take the per-op
+        path and still deliver exact integers."""
+        base = 0x4000_0000
+        big = (1 << 53) + 1  # not representable in float64
+        ops = [(OP_STORE, base, big), (OP_STORE, base + 4, big + 2),
+               (OP_COMPUTE, 1), (OP_LOAD, base, big)]
+        task = Task(ops=ops, flush_lines=[base >> 5],
+                    input_lines=[base >> 5], stack_words=2)
+        program = Program("big", [Phase("p0", [task], code_addr=0x10000,
+                                        code_lines=1)])
+        results = {}
+        for backend in ("interp", "vec"):
+            machine = make_machine(Policy.swcc())
+            stats = machine.run(program, backend=backend)
+            results[backend] = (stats.as_dict(), stats.load_mismatches,
+                                machine.verify_expected({base: big,
+                                                         base + 4: big + 2}))
+        assert results["vec"] == results["interp"]
+        assert results["vec"][1] == []  # the checked load saw the value
+        assert results["vec"][2] == []
+
+    def test_mid_run_interleaving(self):
+        """Tiny slices force batch truncation at slice boundaries; the
+        residue re-enters the batch on the next slice."""
+        base = 0x4000_0000
+        ops = [(OP_STORE, base + 4 * (i % 8), i) for i in range(24)]
+        ops += [(OP_LOAD, base + 4 * (i % 8), None) for i in range(24)]
+        ops = [(k, a, v) if v is not None else (k, a)
+               for k, a, v in ops]
+        task = Task(ops=ops, flush_lines=[base >> 5],
+                    input_lines=[base >> 5], stack_words=2)
+        program = Program("slices", [Phase("p0", [task], code_addr=0x10000,
+                                           code_lines=1)])
+        for ops_per_slice in (1, 3, 8):
+            results = {}
+            for backend in ("interp", "vec"):
+                machine = make_machine(Policy.cohesion())
+                stats = machine.run(program, ops_per_slice=ops_per_slice,
+                                    backend=backend)
+                results[backend] = stats.as_dict()
+            assert results["vec"] == results["interp"], \
+                f"ops_per_slice={ops_per_slice}"
+
+
+@needs_numpy
+class TestRandomProgramEquality:
+    """Generative equality: the tier-1 BSP generator, both backends."""
+
+    def test_random_programs(self):
+        from hypothesis import given, settings, strategies as st
+
+        from tests.test_random_bsp_programs import bsp_programs
+
+        @settings(max_examples=15, deadline=None)
+        @given(bsp_programs(),
+               st.sampled_from(["swcc", "hwcc_ideal", "cohesion"]))
+        def check(built, policy_label):
+            program, expected = built
+            results = {}
+            for backend in ("interp", "vec"):
+                machine = make_machine(policy_by_label(policy_label))
+                stats = machine.run(program, backend=backend)
+                results[backend] = (stats.as_dict(),
+                                    stats.load_mismatches,
+                                    machine.verify_expected(expected))
+            assert results["vec"] == results["interp"]
+            assert results["vec"][2] == []
+
+        check()
+
+
+class TestBackendPlumbing:
+    def test_cache_key_ignores_backend(self):
+        """The result cache shares entries across backends -- sound
+        only while the equality tests above hold."""
+        from repro.analysis.experiments import ExperimentConfig
+        from repro.analysis.parallel import Cell
+        from repro.cache.results import cell_key
+
+        keys = []
+        for backend in ("interp", "vec"):
+            exp = ExperimentConfig(n_clusters=2, scale=0.5,
+                                   backend=backend)
+            keys.append(cell_key(Cell.make("kmeans", Policy.swcc(), exp)))
+        assert keys[0] == keys[1]
+
+    def test_missing_numpy_names_the_extra(self, monkeypatch):
+        """Without numpy, selecting vec fails actionably and the
+        interpreter stays available."""
+        import repro.runtime.backends as backends
+
+        monkeypatch.setattr(backends, "numpy_available", lambda: False)
+        with pytest.raises(SimulationError, match=r"repro\[vec\]"):
+            backends.resolve_backend("vec")
+        assert backends.resolve_backend("interp") is not None
+
+    def test_opcode_partition_disjoint(self):
+        """S004's invariant, asserted directly: vectorized and
+        fallback opcode sets partition the dispatch table."""
+        if not HAVE_NUMPY:
+            pytest.skip("vec backend requires numpy")
+        from repro.runtime.vec import VEC_FALLBACK, VEC_OPCODES
+
+        assert not (VEC_OPCODES & VEC_FALLBACK)
+
+
+@needs_numpy
+@pytest.mark.skipif(os.environ.get("REPRO_FULL") != "1",
+                    reason="full-scale smoke only under REPRO_FULL=1")
+class TestFullScaleSmoke:
+    def test_full_machine_gjk(self):
+        """One 128-cluster (1024-core) kernel end to end on the vec
+        backend -- the configuration the backend exists to make
+        practical."""
+        cfg = MachineConfig(track_data=False).scaled(128)
+        machine = Machine(cfg, Policy.cohesion(entries_per_bank=1024,
+                                               assoc=64))
+        program = get_workload("gjk", scale=1.0, seed=1234).build(machine)
+        stats = machine.run(program, backend="vec")
+        assert stats.as_dict()["cycles"] > 0
