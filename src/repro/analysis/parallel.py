@@ -199,9 +199,33 @@ def _execute(cells: Sequence[Cell], n_jobs: int,
     try:
         return _run_pool(cells, n_jobs, progress, worker)
     except _PoolUnavailable as err:
+        # A pool that broke mid-run may already hold finished cells;
+        # carry those results over instead of re-simulating them, and
+        # resume progress at the carried count rather than restarting
+        # the 1/N .. counter (which would double-emit every done cell).
+        carried = err.partial
+        note = (f" ({len(carried)} completed cell(s) carried over)"
+                if carried else "")
         print(f"repro: process pool unavailable ({err.reason}); "
-              "falling back to serial execution", file=sys.stderr)
-        return _run_serial(cells, progress, worker)
+              f"falling back to serial execution{note}", file=sys.stderr)
+        if not carried:
+            return _run_serial(cells, progress, worker)
+        remaining = [i for i in range(len(cells)) if i not in carried]
+        results: List[object] = [None] * len(cells)
+        for index, value in carried.items():
+            results[index] = value
+        sub_progress = None
+        if progress is not None:
+            total = len(cells)
+            base = len(carried)
+
+            def sub_progress(sub_done, _sub_total, label, elapsed):
+                progress(base + sub_done, total, label, elapsed)
+        for index, value in zip(remaining,
+                                _run_serial([cells[i] for i in remaining],
+                                            sub_progress, worker)):
+            results[index] = value
+        return results
 
 
 def _run_serial(cells: Sequence[Cell], progress: Optional[ProgressFn],
@@ -222,8 +246,17 @@ def _run_serial(cells: Sequence[Cell], progress: Optional[ProgressFn],
 
 
 class _PoolUnavailable(Exception):
-    def __init__(self, reason: str) -> None:
+    """The worker pool could not start, or broke mid-run.
+
+    ``partial`` maps cell index -> completed result for every future
+    that finished *before* the pool broke, so the serial fallback can
+    resume instead of restarting from zero.
+    """
+
+    def __init__(self, reason: str,
+                 partial: Optional[Dict[int, object]] = None) -> None:
         self.reason = reason
+        self.partial: Dict[int, object] = partial or {}
         super().__init__(reason)
 
 
@@ -247,7 +280,9 @@ def _run_pool(cells: Sequence[Cell], n_jobs: int,
                 try:
                     results[index] = future.result()
                 except futures.process.BrokenProcessPool as err:
-                    raise _PoolUnavailable(str(err) or "broken pool") from err
+                    raise _PoolUnavailable(
+                        str(err) or "broken pool",
+                        partial=_completed(index_of)) from err
                 except Exception:
                     # Surface the cell's original exception; name the
                     # cell so a failing sweep is attributable.
@@ -261,6 +296,16 @@ def _run_pool(cells: Sequence[Cell], n_jobs: int,
     except _PoolUnavailable:
         raise
     return results  # type: ignore[return-value]
+
+
+def _completed(index_of) -> Dict[int, object]:
+    """Results of every future that finished cleanly (pool post-mortem)."""
+    partial: Dict[int, object] = {}
+    for future, index in index_of.items():
+        if (future.done() and not future.cancelled()
+                and future.exception() is None):
+            partial[index] = future.result()
+    return partial
 
 
 # -- sweep assembly helpers ---------------------------------------------------

@@ -38,22 +38,38 @@ _SLOT_BY_VALUE = {mtype.value: mtype.name.lower() for mtype in MessageType}
 
 @dataclass
 class ReuseStats:
-    """Process-wide hit/miss accounting (one instance per cache level)."""
+    """Process-wide hit/miss accounting (one instance per cache level).
+
+    ``skipped`` counts lookups of *unkeyable* cells (no fingerprint, so
+    the cache could not even be consulted); they are part of ``lookups``
+    so hit rates are computed over every cell a sweep saw, not just the
+    keyable ones. ``put_failures`` counts stores that were requested but
+    did not land (unkeyable cell or write error) -- previously invisible.
+    """
 
     hits: int = 0
     misses: int = 0
     stores: int = 0
+    skipped: int = 0
+    put_failures: int = 0
 
     def reset(self) -> None:
         self.hits = self.misses = self.stores = 0
+        self.skipped = self.put_failures = 0
 
     @property
     def lookups(self) -> int:
-        return self.hits + self.misses
+        return self.hits + self.misses + self.skipped
 
     @property
     def hit_rate(self) -> float:
         return self.hits / self.lookups if self.lookups else 0.0
+
+    def as_dict(self) -> dict:
+        return {"hits": self.hits, "misses": self.misses,
+                "skipped": self.skipped, "stores": self.stores,
+                "put_failures": self.put_failures,
+                "hit_rate": self.hit_rate}
 
 
 #: Aggregated across every :class:`ResultCache` instance in the process
@@ -147,6 +163,8 @@ class ResultCache:
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        self.skipped = 0
+        self.put_failures = 0
 
     def fingerprint(self, cell) -> Optional[str]:
         """Digest of the cell's key, or None when the cell cannot be
@@ -162,9 +180,12 @@ class ResultCache:
 
     def get(self, cell) -> Optional[RunStats]:
         """The cell's cached stats, or None. Never raises: unreadable,
-        truncated, or stale entries are misses."""
+        truncated, or stale entries are misses; unkeyable cells count
+        as ``skipped`` so hit-rate denominators stay honest."""
         fingerprint = self.fingerprint(cell)
         if fingerprint is None:
+            self.skipped += 1
+            RESULT_STATS.skipped += 1
             return None
         try:
             entry = json.loads(self._path(fingerprint).read_text())
@@ -183,12 +204,13 @@ class ResultCache:
 
     def put(self, cell, stats) -> bool:
         """Store one result (atomically). Returns False -- never raises
-        -- when the cell is unkeyable or the write fails."""
+        -- when the cell is unkeyable or the write fails; either way the
+        failure is counted in ``put_failures``, never silent."""
         if not isinstance(stats, RunStats):
-            return False
+            return self._put_failed()
         fingerprint = self.fingerprint(cell)
         if fingerprint is None:
-            return False
+            return self._put_failed()
         entry = {"schema": RESULT_SCHEMA, "key": cell_key(cell)}
         entry.update(encode_stats(stats))
         path = self._path(fingerprint)
@@ -198,7 +220,12 @@ class ResultCache:
             tmp.write_text(json.dumps(entry, sort_keys=True) + "\n")
             os.replace(tmp, path)
         except OSError:
-            return False
+            return self._put_failed()
         self.stores += 1
         RESULT_STATS.stores += 1
         return True
+
+    def _put_failed(self) -> bool:
+        self.put_failures += 1
+        RESULT_STATS.put_failures += 1
+        return False

@@ -136,8 +136,13 @@ def _report_cache_stats(prefix: str) -> None:
 
     if not cache_enabled() or not RESULT_STATS.lookups:
         return
+    skipped = (f" skipped={RESULT_STATS.skipped}"
+               if RESULT_STATS.skipped else "")
+    failed = (f" put_failures={RESULT_STATS.put_failures}"
+              if RESULT_STATS.put_failures else "")
     print(f"{prefix}: cell cache: hits={RESULT_STATS.hits} "
-          f"misses={RESULT_STATS.misses} ({RESULT_STATS.hit_rate:.0%})",
+          f"misses={RESULT_STATS.misses}{skipped}{failed} "
+          f"({RESULT_STATS.hit_rate:.0%})",
           file=sys.stderr)
 
 
@@ -718,15 +723,23 @@ def cmd_cache(args) -> int:
         print(f"cache: removed {removed} file(s)")
         return 0
     if args.action == "verify":
-        problems = verify_cache(args.dir)
+        report = verify_cache(args.dir)
         if args.json:
             import json
-            print(json.dumps({"problems": problems}, indent=2))
+            print(json.dumps(report.as_dict(), indent=2))
         else:
-            for problem in problems:
-                print(f"cache: {problem}")
-            print(f"cache verify: {len(problems)} problem(s)")
-        return 1 if problems else 0
+            for problem in report.unreadable:
+                print(f"cache: UNREADABLE {problem}")
+            for problem in report.corrupt:
+                print(f"cache: corrupt {problem}")
+            print(f"cache verify: {len(report.corrupt)} corrupt, "
+                  f"{len(report.unreadable)} unreadable problem(s)")
+        # Lint-style grading: corrupt entries are findings (exit 1, the
+        # caches already treat them as misses); access failures mean the
+        # audit itself could not complete (environment exit 2).
+        if report.unreadable:
+            return 2
+        return 1 if report.corrupt else 0
     report = cache_report(args.dir)
     if args.json:
         import json
@@ -737,6 +750,11 @@ def cmd_cache(args) -> int:
     print(format_table(["level", "entries", "bytes"], rows,
                        title=f"experiment cache at {report['root']} "
                              f"({'enabled' if report['enabled'] else 'OFF'})"))
+    session = report["session"]["results"]
+    print(f"session (results): hits={session['hits']} "
+          f"misses={session['misses']} skipped={session['skipped']} "
+          f"stores={session['stores']} "
+          f"put_failures={session['put_failures']}")
     return 0
 
 
@@ -800,6 +818,27 @@ def cmd_bench(args) -> int:
         with open(args.summary, "a", encoding="utf-8") as fh:
             fh.write(summary_markdown(doc, compare))
     return exit_code
+
+
+def cmd_serve(args) -> int:
+    # Lazy import: the serve package pulls in asyncio plumbing no other
+    # subcommand needs.
+    from repro.serve.config import ServeConfig
+    from repro.serve.server import run_server
+
+    config = ServeConfig.from_env()
+    if args.host is not None:
+        config.host = args.host
+    if args.port is not None:
+        config.port = args.port
+    if args.jobs is not None:
+        config.jobs = args.jobs
+    if args.queue is not None:
+        config.queue_limit = args.queue
+    if args.timeout is not None:
+        config.timeout_s = args.timeout
+    config.validate()
+    return run_server(config, port_file=args.port_file)
 
 
 # -- parser --------------------------------------------------------------------
@@ -1004,6 +1043,29 @@ def build_parser() -> argparse.ArgumentParser:
     p_cache.add_argument("--json", action="store_true",
                          help="machine-readable output")
     p_cache.set_defaults(func=cmd_cache)
+
+    p_serve = sub.add_parser(
+        "serve", help="run the HTTP/JSON simulation job server")
+    p_serve.add_argument("--host", default=None, metavar="ADDR",
+                         help="bind address (default: $REPRO_SERVE_HOST "
+                              "or 127.0.0.1)")
+    p_serve.add_argument("--port", type=int, default=None, metavar="PORT",
+                         help="bind port, 0 = pick a free one (default: "
+                              "$REPRO_SERVE_PORT or 8642)")
+    p_serve.add_argument("--jobs", type=int, default=None, metavar="N",
+                         help="worker processes, 0 = one per CPU "
+                              "(default: $REPRO_SERVE_JOBS or 0)")
+    p_serve.add_argument("--queue", type=int, default=None, metavar="N",
+                         help="admission limit before shedding with 429 "
+                              "(default: $REPRO_SERVE_QUEUE or 64)")
+    p_serve.add_argument("--timeout", type=float, default=None,
+                         metavar="SECONDS",
+                         help="per-job execution timeout (default: "
+                              "$REPRO_SERVE_TIMEOUT or 300)")
+    p_serve.add_argument("--port-file", default=None, metavar="PATH",
+                         help="write the bound port here once listening "
+                              "(for scripts using --port 0)")
+    p_serve.set_defaults(func=cmd_serve)
 
     p_area = sub.add_parser("area", help="Section 4.4 area estimates")
     p_area.set_defaults(func=cmd_area)

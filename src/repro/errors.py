@@ -62,6 +62,15 @@ class FreezeError(ReproError):
     arbitrary Python callables."""
 
 
+class CacheAccessError(ReproError):
+    """The on-disk experiment cache could not be accessed.
+
+    Raised by maintenance operations (``repro cache clear``) when the
+    store itself is unreachable -- permission problems, live I/O errors
+    -- as opposed to *corrupt entries*, which reads tolerate as misses
+    and ``verify`` merely reports."""
+
+
 class StaleArtifactError(ReproError):
     """A cached program artifact no longer matches the live machine.
 

@@ -1,0 +1,88 @@
+"""A small blocking client for the ``repro serve`` HTTP/JSON API.
+
+Built on stdlib :mod:`http.client` only, so the test-suite and the CI
+smoke script can hammer a server from plain threads without any async
+plumbing (the server is the asyncio side; clients stay boring).
+
+Every call opens a fresh connection -- the server speaks
+``Connection: close`` -- and returns the decoded JSON body alongside the
+HTTP status, without raising on 4xx/5xx: shed (429) and draining (503)
+are expected answers a caller inspects, not transport failures.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from typing import List, Optional, Tuple
+
+from repro.errors import ReproError
+
+
+class ServeUnreachable(ReproError):
+    """The server did not answer at the transport level."""
+
+
+class ServeClient:
+    """Talks to one ``repro serve`` instance at ``host:port``."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8642,
+                 timeout_s: float = 330.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout_s = timeout_s
+
+    # -- transport ---------------------------------------------------------
+    def request(self, method: str, path: str,
+                payload: Optional[dict] = None) -> Tuple[int, dict]:
+        """One round trip; returns ``(http_status, decoded_body)``."""
+        body = None
+        headers = {}
+        if payload is not None:
+            body = json.dumps(payload).encode()
+            headers["Content-Type"] = "application/json"
+        conn = http.client.HTTPConnection(self.host, self.port,
+                                          timeout=self.timeout_s)
+        try:
+            try:
+                conn.request(method, path, body=body, headers=headers)
+                response = conn.getresponse()
+                raw = response.read()
+            except (OSError, http.client.HTTPException) as err:
+                raise ServeUnreachable(
+                    f"no repro server answering at "
+                    f"http://{self.host}:{self.port}{path} "
+                    f"({type(err).__name__}: {err})") from err
+        finally:
+            conn.close()
+        try:
+            doc = json.loads(raw.decode("utf-8")) if raw else {}
+        except (UnicodeDecodeError, ValueError) as err:
+            raise ServeUnreachable(
+                f"server at http://{self.host}:{self.port} answered "
+                f"non-JSON ({err})") from err
+        return response.status, doc
+
+    # -- API surface -------------------------------------------------------
+    def health(self) -> dict:
+        _status, doc = self.request("GET", "/healthz")
+        return doc
+
+    def stats(self) -> dict:
+        _status, doc = self.request("GET", "/stats")
+        return doc
+
+    def submit_raw(self, payload: dict) -> Tuple[int, dict]:
+        """Submit a pre-built wire payload (tests poke edge cases here)."""
+        return self.request("POST", "/submit", payload)
+
+    def submit_cells(self, cells: List[dict]) -> Tuple[int, List[dict]]:
+        """Submit wire-format cell objects; returns (status, records)."""
+        status, doc = self.submit_raw({"schema": 1, "cells": cells})
+        return status, doc.get("results", [])
+
+    def submit_cell(self, cell: dict) -> Tuple[int, dict]:
+        """Submit one cell; returns (status, its single record)."""
+        status, doc = self.submit_raw({"schema": 1, "cell": cell})
+        results = doc.get("results") or [doc]
+        return status, results[0]

@@ -1,0 +1,81 @@
+"""Single-flight request coalescing: one computation per key in flight.
+
+The classic ``singleflight`` pattern (popularised by groupcache): the
+first submitter of a key becomes the *leader* and actually computes;
+every concurrent submitter of the same key becomes a *follower* and
+awaits the leader's outcome instead of recomputing. The map holds only
+in-flight keys -- completion (success or failure) clears the key, so a
+later submission starts a fresh flight (and, in the server, finds the
+leader's result in the cache instead).
+
+Outcomes are stored as ``(ok, value)`` pairs on the shared future, not
+as future exceptions, so a failed flight with zero followers never
+triggers asyncio's "exception was never retrieved" log spam.
+
+This module is pure asyncio bookkeeping (no HTTP, no cache): everything
+runs on one event loop, so the dict mutations need no locking -- there
+is no ``await`` between "look up the key" and "install the future".
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Awaitable, Callable, Dict, Tuple
+
+
+class SingleFlight:
+    """Coalesces concurrent ``run(key, thunk)`` calls onto one thunk."""
+
+    def __init__(self) -> None:
+        self._inflight: Dict[str, asyncio.Future] = {}
+        #: Calls served by joining an existing flight.
+        self.coalesced = 0
+        #: Calls that led a flight (ran their thunk).
+        self.led = 0
+
+    def __len__(self) -> int:
+        return len(self._inflight)
+
+    def inflight(self, key: str) -> bool:
+        return key in self._inflight
+
+    async def run(self, key: str,
+                  thunk: Callable[[], Awaitable]) -> Tuple[bool, object]:
+        """Run ``thunk`` once per concurrent ``key``.
+
+        Returns ``(led, value)``: ``led`` is True for the leader call
+        (its thunk actually ran). Followers re-raise the leader's
+        exception, so every caller sees the same outcome either way.
+        A follower whose own task is cancelled stops waiting without
+        disturbing the flight; the leader's thunk keeps running for the
+        other followers.
+        """
+        existing = self._inflight.get(key)
+        if existing is not None:
+            self.coalesced += 1
+            # Shielded: cancelling one follower must not cancel the
+            # *shared* future the other followers are awaiting.
+            ok, value = await asyncio.shield(existing)
+            if not ok:
+                raise value
+            return False, value
+
+        future = asyncio.get_running_loop().create_future()
+        self._inflight[key] = future
+        self.led += 1
+        try:
+            value = await thunk()
+        except BaseException as err:
+            self._resolve(key, future, False, err)
+            raise
+        self._resolve(key, future, True, value)
+        return True, value
+
+    def _resolve(self, key: str, future: asyncio.Future,
+                 ok: bool, value) -> None:
+        # Pop before resolving: once followers wake, a brand-new
+        # submission of the same key must start (or cache-hit) fresh.
+        if self._inflight.get(key) is future:
+            del self._inflight[key]
+        if not future.cancelled():
+            future.set_result((ok, value))

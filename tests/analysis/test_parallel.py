@@ -135,6 +135,84 @@ class TestProgress:
         assert "elapsed 6.0s" in err and "ETA 14.0s" in err
 
 
+def _carry_worker(cell):
+    """Pool-crash choreography, keyed by label (module-level: picklable).
+
+    ``good`` logs one execution record and returns. ``poison`` waits for
+    a marker that the *parent* drops once it has retrieved ``good``'s
+    result (the progress callback fires after retrieval), then
+    hard-kills its worker process -- breaking the pool strictly after
+    ``good``'s completion was observed. Run in the parent instead (the
+    serial fallback), ``poison`` computes normally.
+    """
+    import multiprocessing
+    import os
+    import pathlib
+    import time
+    import uuid
+
+    base = pathlib.Path(dict(cell.config_extra)["_dir"])
+    if cell.label == "good":
+        (base / f"exec-{uuid.uuid4().hex}").write_text("1")
+        return "good-result"
+    deadline = time.monotonic() + 30
+    while not (base / "good-retrieved").exists():
+        if time.monotonic() > deadline:  # pragma: no cover - hang guard
+            raise RuntimeError("marker never appeared")
+        time.sleep(0.01)
+    if multiprocessing.parent_process() is not None:
+        os._exit(1)
+    return "poison-serial"
+
+
+class TestBrokenPoolCarry:
+    """Regression: the serial fallback after a mid-run pool crash used
+    to discard every already-completed future and restart from zero --
+    re-simulating finished cells and double-emitting their progress."""
+
+    def _cells(self, tmp_path):
+        return [Cell.make("gjk", _swcc(), TINY, label=label,
+                          _dir=str(tmp_path))
+                for label in ("good", "poison")]
+
+    def _run(self, tmp_path):
+        seen = []
+
+        def progress(done, total, label, elapsed):
+            seen.append((done, total, label))
+            if label == "good":
+                (tmp_path / "good-retrieved").write_text("1")
+
+        results = run_cells(self._cells(tmp_path), jobs=2,
+                            worker=_carry_worker, cache=False,
+                            progress=progress)
+        return results, seen
+
+    def test_completed_results_carry_over(self, tmp_path, capsys):
+        results, _seen = self._run(tmp_path)
+        assert results == ["good-result", "poison-serial"]
+        executions = list(tmp_path.glob("exec-*"))
+        assert len(executions) == 1, "completed cell was re-run"
+        err = capsys.readouterr().err
+        assert "falling back to serial execution" in err
+        assert "1 completed cell(s) carried over" in err
+
+    def test_progress_resumes_not_restarts(self, tmp_path):
+        _results, seen = self._run(tmp_path)
+        dones = [done for done, _total, _label in seen]
+        assert dones == sorted(set(dones)), f"progress double-emitted: {seen}"
+        assert seen == [(1, 2, "good"), (2, 2, "poison")]
+
+    def test_crash_before_any_completion_restarts_cleanly(self, tmp_path):
+        # Marker pre-dropped: poison dies immediately, good's result may
+        # or may not survive the broken pool -- either way every result
+        # must land exactly once at its position.
+        (tmp_path / "good-retrieved").write_text("1")
+        results = run_cells(self._cells(tmp_path), jobs=2,
+                            worker=_carry_worker, cache=False)
+        assert results == ["good-result", "poison-serial"]
+
+
 class TestCellSweep:
     def test_merge_replay_order(self):
         sweep = CellSweep(jobs=4)

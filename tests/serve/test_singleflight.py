@@ -1,0 +1,124 @@
+"""SingleFlight: one computation per key, however many concurrent callers."""
+
+import asyncio
+
+import pytest
+
+from repro.serve.singleflight import SingleFlight
+
+from tests.serve.conftest import run
+
+
+class TestCoalescing:
+    def test_concurrent_same_key_runs_thunk_once(self):
+        flights = SingleFlight()
+        runs = []
+
+        async def thunk():
+            runs.append(1)
+            await asyncio.sleep(0.02)
+            return "value"
+
+        async def body():
+            return await asyncio.gather(
+                *(flights.run("k", thunk) for _ in range(5)))
+
+        outcomes = run(body())
+        assert len(runs) == 1
+        assert sum(1 for led, _ in outcomes if led) == 1
+        assert all(value == "value" for _, value in outcomes)
+        assert flights.led == 1 and flights.coalesced == 4
+
+    def test_different_keys_do_not_coalesce(self):
+        flights = SingleFlight()
+        runs = []
+
+        def thunk_for(key):
+            async def thunk():
+                runs.append(key)
+                await asyncio.sleep(0.01)
+                return key
+            return thunk
+
+        async def body():
+            return await asyncio.gather(flights.run("a", thunk_for("a")),
+                                        flights.run("b", thunk_for("b")))
+
+        outcomes = run(body())
+        assert sorted(runs) == ["a", "b"]
+        assert [led for led, _ in outcomes] == [True, True]
+
+    def test_sequential_calls_each_lead(self):
+        flights = SingleFlight()
+        runs = []
+
+        async def thunk():
+            runs.append(1)
+            return len(runs)
+
+        async def body():
+            first = await flights.run("k", thunk)
+            second = await flights.run("k", thunk)
+            return first, second
+
+        (led1, v1), (led2, v2) = run(body())
+        assert (led1, v1) == (True, 1)
+        assert (led2, v2) == (True, 2), "key not cleared after completion"
+        assert len(flights) == 0
+
+    def test_key_cleared_even_on_failure(self):
+        flights = SingleFlight()
+
+        async def boom():
+            raise ValueError("no")
+
+        async def body():
+            with pytest.raises(ValueError):
+                await flights.run("k", boom)
+            return len(flights)
+
+        assert run(body()) == 0
+
+
+class TestFailurePropagation:
+    def test_followers_see_the_leaders_exception(self):
+        flights = SingleFlight()
+        runs = []
+
+        async def boom():
+            runs.append(1)
+            await asyncio.sleep(0.02)
+            raise RuntimeError("leader failed")
+
+        async def one():
+            try:
+                await flights.run("k", boom)
+                return "ok"
+            except RuntimeError as err:
+                return str(err)
+
+        async def body():
+            return await asyncio.gather(*(one() for _ in range(3)))
+
+        assert run(body()) == ["leader failed"] * 3
+        assert len(runs) == 1
+
+    def test_cancelled_follower_does_not_kill_the_flight(self):
+        flights = SingleFlight()
+
+        async def slow():
+            await asyncio.sleep(0.05)
+            return "done"
+
+        async def body():
+            leader = asyncio.ensure_future(flights.run("k", slow))
+            await asyncio.sleep(0)
+            cancelled = asyncio.ensure_future(flights.run("k", slow))
+            survivor = asyncio.ensure_future(flights.run("k", slow))
+            await asyncio.sleep(0.01)
+            cancelled.cancel()
+            led, value = await leader
+            _led2, value2 = await survivor
+            return led, value, value2
+
+        assert run(body()) == (True, "done", "done")

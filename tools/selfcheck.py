@@ -96,6 +96,11 @@ WALLCLOCK_ALLOWLIST: Set[str] = {
     "analysis/parallel.py",
     "mc/explorer.py",
     "cli.py",
+    # The job server is host tooling end to end: job latency, uptime,
+    # and drain grace are wall-clock by definition.
+    "serve/jobs.py",
+    "serve/metrics.py",
+    "serve/server.py",
 }
 
 _WALLCLOCK_TIME_ATTRS = {"time", "perf_counter", "perf_counter_ns",
