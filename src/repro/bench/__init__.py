@@ -10,16 +10,19 @@ configurable regression threshold, so the repo finally accumulates a
 perf trajectory (ROADMAP: "as fast as the hardware allows").
 """
 
-from repro.bench.harness import (BENCH_SCHEMA, PINNED_MATRIX, BenchSpec,
-                                 default_baseline_path, run_bench,
-                                 select_specs)
+from repro.bench.harness import (BENCH_SCHEMA, PINNED_MATRIX,
+                                 PROFILE_SCHEMA, BenchSpec,
+                                 default_baseline_path, profile_cells,
+                                 run_bench, select_specs)
 from repro.bench.report import (BenchDocError, CompareResult, check_doc,
                                 compare_runs, format_bench_table,
-                                format_compare_table, summary_markdown)
+                                format_compare_table,
+                                format_profile_table, summary_markdown)
 
 __all__ = [
-    "BENCH_SCHEMA", "PINNED_MATRIX", "BenchSpec", "default_baseline_path",
-    "run_bench", "select_specs", "BenchDocError", "CompareResult",
-    "check_doc", "compare_runs", "format_bench_table",
-    "format_compare_table", "summary_markdown",
+    "BENCH_SCHEMA", "PINNED_MATRIX", "PROFILE_SCHEMA", "BenchSpec",
+    "default_baseline_path", "profile_cells", "run_bench",
+    "select_specs", "BenchDocError", "CompareResult", "check_doc",
+    "compare_runs", "format_bench_table", "format_compare_table",
+    "format_profile_table", "summary_markdown",
 ]

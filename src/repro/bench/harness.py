@@ -265,6 +265,91 @@ def run_bench(specs: Optional[Sequence[BenchSpec]] = None, reps: int = 1,
     return doc
 
 
+#: Bumped whenever the profile JSON layout changes incompatibly.
+PROFILE_SCHEMA = 1
+
+
+def profile_cells(specs: Sequence[BenchSpec], backend: Optional[str] = None,
+                  top: int = 25,
+                  progress: Optional[ProgressFn] = None) -> Dict[str, object]:
+    """cProfile one repetition of each cell, *outside* any timed region.
+
+    Deliberately separate from :func:`run_bench`: the profiler's
+    per-call overhead inflates wall times ~4-5x, so profiled runs are
+    never the measured runs. Each cell is simulated once to warm
+    imports and lazy compilation, then once under ``cProfile``; the
+    top-``top`` functions by exclusive (``tottime``) cost are recorded,
+    so "what dominates now?" has a committed per-cell answer instead of
+    folklore. Serial and in-process by construction -- profiles from a
+    worker pool would interleave.
+    """
+    import cProfile
+    import os
+    import pstats
+
+    from repro.analysis.experiments import _env_backend, run_workload
+
+    if backend is None:
+        backend = _env_backend()
+    if top < 1:
+        raise SimulationError(f"profile top must be >= 1; got {top}")
+    doc: Dict[str, object] = {
+        "schema": PROFILE_SCHEMA,
+        "tool": "repro bench --profile",
+        "created": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "backend": backend,
+        "top": top,
+        "cells": {},
+    }
+    cells_out: Dict[str, object] = doc["cells"]  # type: ignore
+    old_cache = os.environ.get("REPRO_CACHE")
+    os.environ["REPRO_CACHE"] = "0"  # profile the simulation, not a disk read
+    t0 = time.perf_counter()
+    try:
+        for i, spec in enumerate(specs):
+            if progress is not None:
+                progress(i, len(specs), spec.key,
+                         time.perf_counter() - t0)
+            cell = _spec_cell(spec, 1, False, backend)
+            extra = dict(cell.config_extra)
+            extra.pop("_bench_reps", None)
+            extra.pop("_bench_cache", None)
+            run_workload(cell.workload, cell.policy, cell.exp,
+                         force_hw_data=cell.force_hw_data, **extra)  # warm
+            prof = cProfile.Profile()
+            prof.enable()
+            run_workload(cell.workload, cell.policy, cell.exp,
+                         force_hw_data=cell.force_hw_data, **extra)
+            prof.disable()
+            stats = pstats.Stats(prof)
+            rows = []
+            for (filename, lineno, func), row in stats.stats.items():
+                cc, nc, tt, ct = row[:4]
+                name = os.path.basename(filename)
+                rows.append({
+                    "func": f"{name}:{lineno}:{func}",
+                    "ncalls": int(nc),
+                    "tottime_s": round(tt, 6),
+                    "cumtime_s": round(ct, 6),
+                })
+            rows.sort(key=lambda r: (-r["tottime_s"], r["func"]))
+            cells_out[spec.key] = {
+                "total_s": round(stats.total_tt, 6),
+                "functions": rows[:top],
+            }
+        if progress is not None:
+            progress(len(specs), len(specs), "done",
+                     time.perf_counter() - t0)
+    finally:
+        if old_cache is None:
+            os.environ.pop("REPRO_CACHE", None)
+        else:
+            os.environ["REPRO_CACHE"] = old_cache
+    return doc
+
+
 def select_specs(pattern: Optional[str]) -> List[BenchSpec]:
     """Resolve a ``--cells`` filter (comma-separated substrings)."""
     if not pattern:

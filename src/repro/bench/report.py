@@ -175,3 +175,20 @@ def summary_markdown(doc: dict,
         lines += ["", f"**{compare.summary_line()}**"]
     lines.append("")
     return "\n".join(lines)
+
+
+def format_profile_table(doc: dict) -> str:
+    """Human-readable per-cell top-N tables for a ``--profile`` run."""
+    lines = []
+    for key, cell in doc.get("cells", {}).items():
+        rows = [[row["func"], row["ncalls"], row["tottime_s"],
+                 row["cumtime_s"]]
+                for row in cell.get("functions", ())]
+        title = (f"{key}: top {len(rows)} by exclusive time "
+                 f"(profiled total {cell.get('total_s', 0.0):.3f} s; "
+                 f"profiler overhead inflates walls, compare shape not "
+                 f"seconds)")
+        lines.append(format_table(
+            ["function", "ncalls", "tottime s", "cumtime s"], rows,
+            title=title))
+    return "\n\n".join(lines)

@@ -766,7 +766,8 @@ def cmd_bench(args) -> int:
     # so importing it at module scope would be circular.
     from repro.bench import (BenchDocError, PINNED_MATRIX, compare_runs,
                              default_baseline_path, format_bench_table,
-                             format_compare_table, run_bench, select_specs,
+                             format_compare_table, format_profile_table,
+                             profile_cells, run_bench, select_specs,
                              summary_markdown)
 
     if args.list_cells:
@@ -786,10 +787,27 @@ def cmd_bench(args) -> int:
 
     out_dir = pathlib.Path(args.out)
     out_dir.mkdir(parents=True, exist_ok=True)
-    json_path = out_dir / f"BENCH_{time.strftime('%Y%m%d-%H%M%S')}.json"
+    stamp = time.strftime('%Y%m%d-%H%M%S')
+    json_path = out_dir / f"BENCH_{stamp}.json"
     json_path.write_text(json.dumps(doc, indent=2) + "\n")
     print(format_bench_table(doc))
     print(f"written: {json_path}")
+
+    if args.profile:
+        # After (never inside) the timed region: profiler overhead
+        # inflates walls 4-5x, so profiled runs are a separate pass.
+        try:
+            profile_doc = profile_cells(
+                specs, backend=args.backend, top=args.profile_top,
+                progress=_progress_from_args(args, "profile"))
+        except SimulationError as err:
+            print(f"bench: {err}", file=sys.stderr)
+            return 2
+        profile_path = out_dir / f"PROFILE_{stamp}.json"
+        profile_path.write_text(json.dumps(profile_doc, indent=2) + "\n")
+        print()
+        print(format_profile_table(profile_doc))
+        print(f"written: {profile_path}")
 
     exit_code = 0
     compare = None
@@ -1018,6 +1036,15 @@ def build_parser() -> argparse.ArgumentParser:
                          help="append a markdown summary (for CI)")
     p_bench.add_argument("--list-cells", action="store_true",
                          help="list the pinned matrix and exit")
+    p_bench.add_argument("--profile", action="store_true",
+                         help="after timing, cProfile each cell (outside "
+                              "the timed region) and write "
+                              "PROFILE_<timestamp>.json with the top-N "
+                              "functions per cell")
+    p_bench.add_argument("--profile-top", type=int, default=25,
+                         metavar="N",
+                         help="functions kept per profiled cell "
+                              "(default: 25)")
     p_bench.add_argument("--cache", action="store_true",
                          help="serve hits from the result cache (times the "
                               "fetch, not the simulation; recorded in the "

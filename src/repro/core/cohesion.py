@@ -29,6 +29,7 @@ transitions in :mod:`repro.core.transitions`.
 
 from __future__ import annotations
 
+from operator import attrgetter
 from typing import List, NamedTuple, Optional, Sequence, Tuple
 
 from repro.config import MachineConfig, Policy
@@ -45,6 +46,9 @@ from repro.obs.bus import EV_MSG, EventBus, ObsEvent
 from repro.runtime.layout import AddressLayout
 from repro.timing import BUCKET_CYCLES, _INV_BUCKET, ResourceGroup
 from repro.types import MessageType, PolicyKind
+
+#: C-level key for the L3 victim scans (see ``_l3_access``).
+_LRU_KEY = attrgetter("lru")
 
 
 class Reply(NamedTuple):
@@ -123,6 +127,12 @@ class MemorySystem:
         #: installed, every classified request is attributed to a region
         #: so the adaptive remapper can steer domain decisions.
         self.profiler = None
+
+        #: Optional :class:`~repro.runtime.plans.PlanCache` installed by
+        #: the machine builder. When present, the cluster-visible
+        #: operations below first try a compiled miss-path plan; a None
+        #: dispatch result falls through to the interpreter walk.
+        self._plans = None
 
     # -- wiring ----------------------------------------------------------------
     def attach_clusters(self, clusters: Sequence) -> None:
@@ -233,9 +243,8 @@ class MemorySystem:
         used = port._used
         bucket = int(now * _INV_BUCKET)
         filled = used.get(bucket, 0.0)
-        while filled + 1.0 > BUCKET_CYCLES:
-            bucket += 1
-            filled = used.get(bucket, 0.0)
+        if filled + 1.0 > BUCKET_CYCLES:
+            bucket, filled = port._slot_after(bucket, 1.0)
         used[bucket] = filled + 1.0
         t = bucket * BUCKET_CYCLES
         if now > t:
@@ -269,9 +278,8 @@ class MemorySystem:
                     used_d = res._used
                     db = int(t * _INV_BUCKET)
                     df = used_d.get(db, 0.0)
-                    while df + occ_d > BUCKET_CYCLES:
-                        db += 1
-                        df = used_d.get(db, 0.0)
+                    if df + occ_d > BUCKET_CYCLES:
+                        db, df = res._slot_after(db, occ_d)
                     used_d[db] = df + occ_d
                     start = db * BUCKET_CYCLES
                     if t > start:
@@ -291,14 +299,12 @@ class MemorySystem:
             bucket2 = cache.sets[line % cache.n_sets]
             cache._tick += 1
             if len(bucket2) >= cache.assoc:
-                victim_line = -1
-                best = None
-                for ln, resident in bucket2.items():
-                    lru = resident.lru
-                    if best is None or lru < best:
-                        best = lru
-                        victim_line = ln
-                entry = bucket2.pop(victim_line)
+                # C-level LRU scan; ``min`` keeps the first minimal
+                # entry in insertion order, matching the replaced
+                # strict-< loop, and an entry's ``line`` always equals
+                # its key in the set dict.
+                entry = min(bucket2.values(), key=_LRU_KEY)
+                del bucket2[entry.line]
                 cache.evictions += 1
                 if entry.dirty_mask:
                     self._l3_victim(bank, entry, t)
@@ -410,6 +416,11 @@ class MemorySystem:
     def read_line(self, cluster_id: int, line: int, now: float,
                   instruction: bool = False) -> Reply:
         """Read request (RdReq) from an L2 miss; returns the filled line."""
+        plans = self._plans
+        if plans is not None:
+            reply = plans.read_line(cluster_id, line, now, instruction)
+            if reply is not None:
+                return reply
         if instruction:
             self.counters.instruction_request += 1
         else:
@@ -462,6 +473,11 @@ class MemorySystem:
         bit; under HWcc the directory first removes every other copy and
         installs the requester as the modified owner.
         """
+        plans = self._plans
+        if plans is not None:
+            reply = plans.write_line_request(cluster_id, line, now)
+            if reply is not None:
+                return reply
         self.counters.write_request += 1
         if self.profiler is not None:
             self.profiler.note(line, self.profiler.WRITE, cluster_id)
@@ -493,6 +509,11 @@ class MemorySystem:
 
     def upgrade_request(self, cluster_id: int, line: int, now: float) -> float:
         """S -> M upgrade for a line the requester already holds clean."""
+        plans = self._plans
+        if plans is not None:
+            done = plans.upgrade_request(cluster_id, line, now)
+            if done is not None:
+                return done
         self.counters.write_request += 1
         if self.profiler is not None:
             self.profiler.note(line, self.profiler.WRITE, cluster_id)
@@ -526,6 +547,13 @@ class MemorySystem:
         domain (no directory interaction). For a coherent modified line
         being evicted, the owner's directory entry is released.
         """
+        plans = self._plans
+        if plans is not None:
+            done = plans.writeback(cluster_id, line, dirty_mask, values,
+                                   now, message, incoherent,
+                                   releases_ownership)
+            if done is not None:
+                return done
         if message is MessageType.SOFTWARE_FLUSH:
             self.counters.software_flush += 1
             if self.profiler is not None:
@@ -560,6 +588,11 @@ class MemorySystem:
         notifies the directory, which deallocates the entry when the
         sharer count drops to zero.
         """
+        plans = self._plans
+        if plans is not None:
+            done = plans.read_release(cluster_id, line, now)
+            if done is not None:
+                return done
         self.counters.read_release += 1
         if self.obs.active:
             self._emit_msg(now, cluster_id, line,

@@ -68,9 +68,8 @@ class Network:
         used = link._used
         bucket = int(now * _INV_BUCKET)
         filled = used.get(bucket, 0.0)
-        while filled + occ > BUCKET_CYCLES:
-            bucket += 1
-            filled = used.get(bucket, 0.0)
+        if filled + occ > BUCKET_CYCLES:
+            bucket, filled = link._slot_after(bucket, occ)
         used[bucket] = filled + occ
         start = bucket * BUCKET_CYCLES
         if now > start:
@@ -81,9 +80,8 @@ class Network:
         used = xbar._used
         bucket = int(start * _INV_BUCKET)
         filled = used.get(bucket, 0.0)
-        while filled + _XBAR_OCCUPANCY > BUCKET_CYCLES:
-            bucket += 1
-            filled = used.get(bucket, 0.0)
+        if filled + _XBAR_OCCUPANCY > BUCKET_CYCLES:
+            bucket, filled = xbar._slot_after(bucket, _XBAR_OCCUPANCY)
         used[bucket] = filled + _XBAR_OCCUPANCY
         begin = bucket * BUCKET_CYCLES
         if start > begin:
@@ -104,9 +102,8 @@ class Network:
         used = xbar._used
         bucket = int(now * _INV_BUCKET)
         filled = used.get(bucket, 0.0)
-        while filled + _XBAR_OCCUPANCY > BUCKET_CYCLES:
-            bucket += 1
-            filled = used.get(bucket, 0.0)
+        if filled + _XBAR_OCCUPANCY > BUCKET_CYCLES:
+            bucket, filled = xbar._slot_after(bucket, _XBAR_OCCUPANCY)
         used[bucket] = filled + _XBAR_OCCUPANCY
         start = bucket * BUCKET_CYCLES
         if now > start:
@@ -118,9 +115,8 @@ class Network:
         used = link._used
         bucket = int(start * _INV_BUCKET)
         filled = used.get(bucket, 0.0)
-        while filled + occ > BUCKET_CYCLES:
-            bucket += 1
-            filled = used.get(bucket, 0.0)
+        if filled + occ > BUCKET_CYCLES:
+            bucket, filled = link._slot_after(bucket, occ)
         used[bucket] = filled + occ
         begin = bucket * BUCKET_CYCLES
         if start > begin:

@@ -46,4 +46,6 @@ def resolve_backend(name):
         from repro.runtime.vec import VecExecutor
         return VecExecutor
     raise SimulationError(
-        f"unknown backend {name!r}; choose from {', '.join(BACKENDS)}")
+        f"unknown backend {name!r} (from --backend or the "
+        f"REPRO_BACKEND environment variable); registered backends: "
+        f"{', '.join(BACKENDS)}")

@@ -273,16 +273,31 @@ def vectorize_phase(phase: FrozenPhase) -> VecPhase:
         empty = VecPhase(*(array(code) for code in
                            ("b", "Q", "d", "B", "Q", "B", "Q", "B", "B")))
         return empty
-    kinds = np.fromiter((op[0] for op in ops), dtype=np.int8, count=n)
-    addrs = np.fromiter((op[1] if len(op) > 1 else 0 for op in ops),
-                        dtype=np.uint64, count=n)
-    has_value = np.fromiter((len(op) > 2 for op in ops), dtype=bool,
-                            count=n)
+    # Column extraction runs in C where possible: ``map(itemgetter)``
+    # and ``map(len)`` avoid four Python-level passes over the op
+    # tuples. Length-1 ops (none are emitted today) drop to the
+    # reference per-element scan rather than complicating the fast
+    # path.
+    from operator import itemgetter
+    lens = np.fromiter(map(len, ops), dtype=np.intp, count=n)
     try:
-        values = np.fromiter(
-            (op[2] if len(op) > 2
-             else (op[1] if (op[0] == OP_COMPUTE and len(op) > 1) else 0)
-             for op in ops), dtype=np.float64, count=n)
+        kinds = np.fromiter(map(itemgetter(0), ops), dtype=np.int8,
+                            count=n)
+        addrs = np.fromiter(map(itemgetter(1), ops), dtype=np.uint64,
+                            count=n)
+    except (IndexError, OverflowError):
+        return _vectorize_py(phase)
+    has_value = lens > 2
+    try:
+        values = np.zeros(n, dtype=np.float64)
+        computes = (kinds == OP_COMPUTE) & ~has_value
+        if computes.any():
+            values[computes] = addrs[computes]
+        third_idx = np.flatnonzero(has_value)
+        if len(third_idx):
+            values[third_idx] = np.fromiter(
+                (ops[i][2] for i in third_idx), dtype=np.float64,
+                count=len(third_idx))
     except OverflowError:
         # A value beyond float64 range; the scalar scan zeroes it and
         # flags its run for the exact per-op path.

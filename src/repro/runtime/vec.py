@@ -68,12 +68,16 @@ class _VecCoreState(_CoreState):
     ``ip + (lo - len(ops))`` once past the head.
     """
 
-    __slots__ = ("lo", "hi")
+    __slots__ = ("lo", "hi", "limit")
 
     def __init__(self) -> None:
         super().__init__()
         self.lo = 0
         self.hi = 0
+        #: Virtual stream length ``len(ops) + hi - lo``, cached when the
+        #: stream is (re)assigned so the scheduler's end-of-stream test
+        #: is one comparison.
+        self.limit = 0
 
 
 class VecExecutor(BspExecutor):
@@ -92,6 +96,7 @@ class VecExecutor(BspExecutor):
             # artifact thawed mid-flight): build them once, lazily.
             vec = phase.vec = vectorize_phase(phase)
         self._flat = phase.ops
+        self._vkind = vec.kind
         self._vline = vec.line
         self._vaddr = vec.addr
         self._vword = vec.word
@@ -112,23 +117,31 @@ class VecExecutor(BspExecutor):
         heapq.heapify(heap)
         arrivals: List[float] = []
         heappop = heapq.heappop
-        heappush = heapq.heappush
+        # push-then-pop fused: (now, core) keys are unique (core breaks
+        # ties), so heappushpop pops exactly what push followed by pop
+        # would -- one sift instead of two per slice.
+        heappushpop = heapq.heappushpop
         clusters = machine.clusters
-        execute_slice = self._execute_slice
+        core_cluster = [clusters[core // per_cluster]
+                        for core in range(n_cores)]
+        core_local = [core % per_cluster for core in range(n_cores)]
+        execute_slice = self._bind_slice_executor()
 
-        while heap:
-            now, core = heappop(heap)
+        now, core = heappop(heap)
+        while True:
             state = states[core]
-            cluster = clusters[core // per_cluster]
-            local = core % per_cluster
 
-            if state.ip >= len(state.ops) + state.hi - state.lo:
+            if state.ip >= state.limit:
                 if state.stage == _STAGE_DRAIN:
                     state.stage = _STAGE_WAITING
                     arrivals.append(now)
+                    if not heap:
+                        break
+                    now, core = heappop(heap)
                     continue
                 if head < n_tasks:
-                    now = self._dequeue(cluster, local, core, head, now)
+                    now = self._dequeue(core_cluster[core], core_local[core],
+                                        core, head, now)
                     ops = list(prefix)
                     if stack_words[head]:
                         ops.extend(self._stack_block(core, stack_words[head]))
@@ -136,6 +149,7 @@ class VecExecutor(BspExecutor):
                     state.ip = 0
                     state.lo = bounds[head]
                     state.hi = bounds[head + 1]
+                    state.limit = len(ops) + state.hi - state.lo
                     state.inputs.update(input_lines[head])
                     head += 1
                     self.tasks_executed += 1
@@ -144,12 +158,14 @@ class VecExecutor(BspExecutor):
                     state.ip = 0
                     state.lo = 0
                     state.hi = 0
+                    state.limit = len(state.ops)
                     state.stage = _STAGE_DRAIN
-                heappush(heap, (now, core))
+                now, core = heappushpop(heap, (now, core))
                 continue
 
-            now = execute_slice(cluster, local, core, state, now)
-            heappush(heap, (now, core))
+            now = execute_slice(core_cluster[core], core_local[core], core,
+                                state, now)
+            now, core = heappushpop(heap, (now, core))
 
         if len(arrivals) != n_cores:
             raise SimulationError(
@@ -166,59 +182,84 @@ class VecExecutor(BspExecutor):
             phase.after(machine)
 
     # -- op dispatch -----------------------------------------------------------
-    def _execute_slice(self, cluster, local: int, core: int,
-                      state: _VecCoreState, now: float) -> float:
-        """Execute up to ``ops_per_slice`` ops of one core's stream.
+    def _bind_slice_executor(self):
+        """Build the phase's slice executor as a closure.
 
-        Body loads first try the O(1) run path: if the whole run's
-        ``run_need`` mask is valid in the probed L1 entry (and the obs
-        bus is off, and ``track_data`` has nothing to verify in the
-        run), the run is consumed with one aggregate update -- ``n``
-        consecutive interpreter iterations perform exactly ``now += n``,
-        ``tick += n``, ``hits += n`` with the entry aged to the final
-        tick, and no other access can observe the intermediate values.
-        Every other case falls through to the interpreter-identical
-        dispatch below (kept a line-for-line copy of
-        ``BspExecutor._execute_slice`` modulo virtual indexing).
+        Every phase-level constant -- the typed columns, the flat op
+        array, the obs bus, dispatch opcodes, bucket math -- is bound as
+        a keyword default, so the 8-op hot loop runs on local loads with
+        no per-slice attribute prologue (22k+ slice calls per flagship
+        run made that prologue a measurable fraction of dispatch cost).
         """
-        ops = state.ops
-        nhead = len(ops)
-        lo = state.lo
-        flat = self._flat
-        off = lo - nhead
-        ip = state.ip
-        start_ip = ip
-        end = min(nhead + state.hi - lo, ip + self.ops_per_slice)
-        obs = self._obs
-        obs_active = obs.active
-        check_loads = self._check_loads
-        mismatches = self.load_mismatches
-        l1 = cluster.l1d[local]
-        l1_sets = l1.sets
-        l1_nsets = l1.n_sets
-        l1i = cluster.l1i[local]
-        word_mask = WORDS_PER_LINE - 1
-        vline = self._vline
-        vaddr = self._vaddr
-        vword = self._vword
-        vvalue = self._vvalue
-        vrun_end = self._vrun_end
-        vrun_need = self._vrun_need
-        vrun_exp = self._vrun_exp
-        while ip < end:
-            if ip < nhead:
-                op = ops[ip]
-                fi = -1
-            else:
-                fi = ip + off
-                op = flat[fi]
-            kind = op[0]
-            if kind == OP_LOAD:
-                if fi >= 0 and not obs_active and not (
-                        check_loads and vrun_exp[fi]):
-                    line = vline[fi]
+        def execute_slice(cluster, local: int, core: int,
+                          state: _VecCoreState, now: float, *,
+                          executor=self, flat=self._flat, obs=self._obs,
+                          check_loads=self._check_loads,
+                          ops_per_slice=self.ops_per_slice,
+                          machine_clocks=self.machine.core_clocks,
+                          word_mask=WORDS_PER_LINE - 1,
+                          LINE_SHIFT=LINE_SHIFT, WORD_SHIFT=WORD_SHIFT,
+                          vkind=self._vkind, vline=self._vline,
+                          vaddr=self._vaddr, vword=self._vword,
+                          vvalue=self._vvalue, vrun_end=self._vrun_end,
+                          vrun_need=self._vrun_need,
+                          vrun_exp=self._vrun_exp,
+                          OP_LOAD=OP_LOAD, OP_STORE=OP_STORE,
+                          OP_COMPUTE=OP_COMPUTE, OP_IFETCH=OP_IFETCH,
+                          OP_ATOMIC=OP_ATOMIC, OP_WB=OP_WB, OP_INV=OP_INV,
+                          BUCKET_CYCLES=BUCKET_CYCLES,
+                          _INV_BUCKET=_INV_BUCKET) -> float:
+            """Execute up to ``ops_per_slice`` ops of one core's stream.
+
+            Body loads first try the O(1) run path: if the whole run's
+            ``run_need`` mask is valid in the probed L1 entry (and the
+            obs bus is off, and ``track_data`` has nothing to verify in
+            the run), the run is consumed with one aggregate update --
+            ``n`` consecutive interpreter iterations perform exactly
+            ``now += n``, ``tick += n``, ``hits += n`` with the entry
+            aged to the final tick, and no other access can observe the
+            intermediate values. Every other case falls through to the
+            interpreter-identical dispatch below (kept a line-for-line
+            copy of ``BspExecutor._execute_slice`` modulo virtual
+            indexing).
+            """
+            ops = state.ops
+            nhead = len(ops)
+            off = state.lo - nhead
+            ip = state.ip
+            start_ip = ip
+            end = ip + ops_per_slice
+            limit = state.limit
+            if limit < end:
+                end = limit
+            obs_active = obs.active
+            l1 = cluster.l1d[local]
+            l1_sets = l1.sets
+            l1_nsets = l1.n_sets
+            # Body ops dispatch on the typed columns alone; the op tuple
+            # is only materialised on the branches that need it
+            # (fallbacks, value checking). Head ops always carry tuples.
+            while ip < end:
+                if ip < nhead:
+                    op = ops[ip]
+                    kind = op[0]
+                    fi = -1
+                else:
+                    fi = ip + off
+                    kind = vkind[fi]
+                    op = None
+                if kind == OP_LOAD:
+                    # One probe serves both the O(1) run path and the per-op
+                    # hit path: the run's first op names the same line.
+                    if fi >= 0:
+                        line = vline[fi]
+                        addr = -1
+                    else:
+                        addr = op[1]
+                        line = addr >> LINE_SHIFT
                     e1 = l1_sets[line % l1_nsets].get(line)
-                    if e1 is not None:
+                    if (fi >= 0 and e1 is not None and not obs_active
+                            and not (check_loads and vrun_exp[fi])):
                         need = vrun_need[fi]
                         if (e1.valid_mask & need) == need:
                             n = vrun_end[fi] - fi
@@ -232,161 +273,180 @@ class VecExecutor(BspExecutor):
                             e1.lru = tick
                             l1.hits += n
                             continue
-                addr = op[1]
-                line = addr >> LINE_SHIFT
-                e1 = l1_sets[line % l1_nsets].get(line)
-                if e1 is not None and \
-                        (e1.valid_mask >> ((addr >> WORD_SHIFT) & word_mask)) & 1:
-                    run = 0
-                    while True:
-                        run += 1
-                        if obs_active:
-                            word = (addr >> WORD_SHIFT) & word_mask
-                            obs.emit(ObsEvent(
-                                now, EV_LOAD, cluster.id, local, line,
-                                addr,
-                                e1.data[word] if e1.data is not None else 0,
-                                1.0))
-                        now += 1
-                        if check_loads and len(op) > 2:
-                            word = (addr >> WORD_SHIFT) & word_mask
-                            value = e1.data[word] if e1.data is not None else 0
-                            if value != op[2] and len(mismatches) < 100:
-                                mismatches.append((addr, op[2], value))
-                        ip += 1
-                        if ip >= end:
-                            break
-                        op = ops[ip] if ip < nhead else flat[ip + off]
-                        if op[0] != OP_LOAD:
-                            break
-                        addr = op[1]
-                        if (addr >> LINE_SHIFT) != line or not \
-                                ((e1.valid_mask >> ((addr >> WORD_SHIFT)
-                                                    & word_mask)) & 1):
-                            break
-                    tick = l1._tick + run
-                    l1._tick = tick
-                    e1.lru = tick
-                    l1.hits += run
-                    continue
-                now, value = cluster.load(local, addr, now)
-                if len(op) > 2 and check_loads and value != op[2]:
-                    if len(mismatches) < 100:
-                        mismatches.append((addr, op[2], value))
-            elif kind == OP_STORE:
-                # Batched same-line store run (the paper's batched SWcc
-                # per-word dirty-mask updates). Preconditions mirror one
-                # interpreter iteration: the value column exact
-                # (run_exp) and the L2 holding the line
-                # incoherent-or-dirty -- the write-word path with no
-                # protocol message. The first store making the line
-                # dirty keeps the condition true for the rest of the
-                # run, so one entry check covers all n ops; everything
-                # else (upgrade, miss, SWcc write-allocate) falls
-                # through to :meth:`Cluster.store` per op. With the bus
-                # enabled each op of the batch announces itself exactly
-                # as Cluster.store would, at issue time.
-                if fi >= 0 and not vrun_exp[fi]:
-                    line = vline[fi]
-                    l2 = cluster.l2
-                    e2 = l2.sets[line % l2.n_sets].get(line)
-                    if e2 is not None and (e2.incoherent or e2.dirty_mask):
-                        n = vrun_end[fi] - fi
-                        rem = end - ip
-                        if rem < n:
-                            n = rem
-                        index = line % l1_nsets
-                        e1 = l1_sets[index].get(line)
-                        e1data = e1.data if e1 is not None else None
-                        if line in cluster._l1_present:
-                            # One sibling drop-scan stands for the run's
-                            # n: the first leaves the line in no sibling
-                            # L1 and nothing in the run re-installs it,
-                            # so scans 2..n would be no-ops.
-                            l1d = cluster.l1d
-                            for sibling in range(cluster.n_cores):
-                                if sibling != local:
-                                    sib = l1d[sibling]
-                                    bucket_ = sib.sets[index]
-                                    if line in bucket_:
-                                        del bucket_[line]
-                                        if not bucket_:
-                                            sib._occupied.pop(index, None)
-                        # Per-op issue timing must replay exactly: each
-                        # store's completion is the next one's issue
-                        # time and the port's bucket ledger fills
-                        # store by store.
-                        port = cluster.port
-                        occ = cluster.port_occ
-                        used = port._used
-                        lat = cluster.bus_latency + cluster.l2_latency
-                        e2data = e2.data
-                        vm = e2.valid_mask
-                        dm = e2.dirty_mask
-                        for fk in range(fi, fi + n):
-                            value = int(vvalue[fk])
+                    if addr < 0:
+                        addr = vaddr[fi]
+                    if e1 is not None and \
+                            (e1.valid_mask >> ((addr >> WORD_SHIFT) & word_mask)) & 1:
+                        if op is None:
+                            op = flat[fi]
+                        run = 0
+                        while True:
+                            run += 1
                             if obs_active:
-                                obs.emit(ObsEvent(now, EV_STORE, cluster.id,
-                                                  local, line, vaddr[fk],
-                                                  value))
-                            port.acquisitions += 1
-                            port.total_busy += occ
-                            bucket = int(now * _INV_BUCKET)
-                            filled = used.get(bucket, 0.0)
-                            while filled + occ > BUCKET_CYCLES:
-                                bucket += 1
-                                filled = used.get(bucket, 0.0)
-                            used[bucket] = filled + occ
-                            t = bucket * BUCKET_CYCLES
-                            if now > t:
-                                t = now
-                            now = t + lat
-                            word = vword[fk]
-                            if e1data is not None:
-                                e1data[word] = value
-                            bit = 1 << word
-                            vm |= bit
-                            dm |= bit
-                            if e2data is not None:
-                                e2data[word] = value
-                        e2.valid_mask = vm
-                        e2.dirty_mask = dm
-                        tick = l2._tick + n
-                        l2._tick = tick
-                        e2.lru = tick
-                        l2.hits += n
-                        ip += n
+                                word = (addr >> WORD_SHIFT) & word_mask
+                                obs.emit(ObsEvent(
+                                    now, EV_LOAD, cluster.id, local, line,
+                                    addr,
+                                    e1.data[word] if e1.data is not None else 0,
+                                    1.0))
+                            now += 1
+                            if check_loads and len(op) > 2:
+                                word = (addr >> WORD_SHIFT) & word_mask
+                                value = e1.data[word] if e1.data is not None else 0
+                                if value != op[2]:
+                                    mismatches = executor.load_mismatches
+                                    if len(mismatches) < 100:
+                                        mismatches.append((addr, op[2], value))
+                            ip += 1
+                            if ip >= end:
+                                break
+                            op = ops[ip] if ip < nhead else flat[ip + off]
+                            if op[0] != OP_LOAD:
+                                break
+                            addr = op[1]
+                            if (addr >> LINE_SHIFT) != line or not \
+                                    ((e1.valid_mask >> ((addr >> WORD_SHIFT)
+                                                        & word_mask)) & 1):
+                                break
+                        tick = l1._tick + run
+                        l1._tick = tick
+                        e1.lru = tick
+                        l1.hits += run
                         continue
-                value = op[2] if len(op) > 2 else 0
-                now = cluster.store(local, op[1], value, now)
-            elif kind == OP_COMPUTE:
-                now += op[1]
-            elif kind == OP_IFETCH:
-                addr = op[1]
-                line = addr >> LINE_SHIFT
-                e1 = l1i.sets[line % l1i.n_sets].get(line)
-                if e1 is not None:
-                    l1i.touch(e1)
-                    if obs_active:
-                        obs.emit(ObsEvent(now, EV_IFETCH, cluster.id, local,
-                                          line, addr, None, 1.0))
-                    now += 1
+                    now, value = cluster.load(local, addr, now)
+                    if check_loads:
+                        if op is None:
+                            op = flat[fi]
+                        if len(op) > 2 and value != op[2]:
+                            mismatches = executor.load_mismatches
+                            if len(mismatches) < 100:
+                                mismatches.append((addr, op[2], value))
+                elif kind == OP_STORE:
+                    # Batched same-line store run (the paper's batched SWcc
+                    # per-word dirty-mask updates). Preconditions mirror one
+                    # interpreter iteration: the value column exact
+                    # (run_exp) and the L2 holding the line
+                    # incoherent-or-dirty -- the write-word path with no
+                    # protocol message. The first store making the line
+                    # dirty keeps the condition true for the rest of the
+                    # run, so one entry check covers all n ops; everything
+                    # else (upgrade, miss, SWcc write-allocate) falls
+                    # through to :meth:`Cluster.store` per op. With the bus
+                    # enabled each op of the batch announces itself exactly
+                    # as Cluster.store would, at issue time.
+                    if fi >= 0 and not vrun_exp[fi]:
+                        line = vline[fi]
+                        l2 = cluster.l2
+                        e2 = l2.sets[line % l2.n_sets].get(line)
+                        if e2 is not None and (e2.incoherent or e2.dirty_mask):
+                            n = vrun_end[fi] - fi
+                            rem = end - ip
+                            if rem < n:
+                                n = rem
+                            index = line % l1_nsets
+                            e1 = l1_sets[index].get(line)
+                            e1data = e1.data if e1 is not None else None
+                            if line in cluster._l1_present:
+                                # One sibling drop-scan stands for the run's
+                                # n: the first leaves the line in no sibling
+                                # L1 and nothing in the run re-installs it,
+                                # so scans 2..n would be no-ops.
+                                l1d = cluster.l1d
+                                for sibling in range(cluster.n_cores):
+                                    if sibling != local:
+                                        sib = l1d[sibling]
+                                        bucket_ = sib.sets[index]
+                                        if line in bucket_:
+                                            del bucket_[line]
+                                            if not bucket_:
+                                                sib._occupied.pop(index, None)
+                            # Per-op issue timing must replay exactly: each
+                            # store's completion is the next one's issue
+                            # time and the port's bucket ledger fills
+                            # store by store.
+                            port = cluster.port
+                            occ = cluster.port_occ
+                            used = port._used
+                            lat = cluster.bus_latency + cluster.l2_latency
+                            e2data = e2.data
+                            vm = e2.valid_mask
+                            dm = e2.dirty_mask
+                            for fk in range(fi, fi + n):
+                                value = int(vvalue[fk])
+                                if obs_active:
+                                    obs.emit(ObsEvent(now, EV_STORE, cluster.id,
+                                                      local, line, vaddr[fk],
+                                                      value))
+                                port.acquisitions += 1
+                                port.total_busy += occ
+                                bucket = int(now * _INV_BUCKET)
+                                filled = used.get(bucket, 0.0)
+                                if filled + occ > BUCKET_CYCLES:
+                                    bucket, filled = port._slot_after(bucket, occ)
+                                used[bucket] = filled + occ
+                                t = bucket * BUCKET_CYCLES
+                                if now > t:
+                                    t = now
+                                now = t + lat
+                                word = vword[fk]
+                                if e1data is not None:
+                                    e1data[word] = value
+                                bit = 1 << word
+                                vm |= bit
+                                dm |= bit
+                                if e2data is not None:
+                                    e2data[word] = value
+                            e2.valid_mask = vm
+                            e2.dirty_mask = dm
+                            tick = l2._tick + n
+                            l2._tick = tick
+                            e2.lru = tick
+                            l2.hits += n
+                            ip += n
+                            continue
+                    if op is None:
+                        op = flat[fi]
+                    value = op[2] if len(op) > 2 else 0
+                    now = cluster.store(local, op[1], value, now)
+                elif kind == OP_COMPUTE:
+                    # The value column carries the compute duration for body
+                    # ops (identical float result: int + float and
+                    # float + float land on the same bits for these exact
+                    # small integers).
+                    now += op[1] if fi < 0 else vvalue[fi]
+                elif kind == OP_IFETCH:
+                    addr = op[1] if fi < 0 else vaddr[fi]
+                    line = addr >> LINE_SHIFT
+                    l1i = cluster.l1i[local]
+                    e1 = l1i.sets[line % l1i.n_sets].get(line)
+                    if e1 is not None:
+                        l1i.touch(e1)
+                        if obs_active:
+                            obs.emit(ObsEvent(now, EV_IFETCH, cluster.id, local,
+                                              line, addr, None, 1.0))
+                        now += 1
+                    else:
+                        now = cluster.ifetch(local, addr, now)
+                elif kind == OP_ATOMIC:
+                    if op is None:
+                        op = flat[fi]
+                    operand = op[2] if len(op) > 2 else 1
+                    now, _v = cluster.atomic(local, op[1], _add, operand, now)
+                elif kind == OP_WB:
+                    addr = op[1] if fi < 0 else vaddr[fi]
+                    now = cluster.flush_line(local, addr >> LINE_SHIFT, now)
+                elif kind == OP_INV:
+                    addr = op[1] if fi < 0 else vaddr[fi]
+                    now = cluster.invalidate_line(local, addr >> LINE_SHIFT, now)
+                elif kind == OP_BARRIER:
+                    raise SimulationError("explicit barrier ops are not allowed "
+                                          "inside tasks; phases imply barriers")
                 else:
-                    now = cluster.ifetch(local, addr, now)
-            elif kind == OP_ATOMIC:
-                operand = op[2] if len(op) > 2 else 1
-                now, _v = cluster.atomic(local, op[1], _add, operand, now)
-            elif kind == OP_WB:
-                now = cluster.flush_line(local, op[1] >> LINE_SHIFT, now)
-            elif kind == OP_INV:
-                now = cluster.invalidate_line(local, op[1] >> LINE_SHIFT, now)
-            elif kind == OP_BARRIER:
-                raise SimulationError("explicit barrier ops are not allowed "
-                                      "inside tasks; phases imply barriers")
-            else:
-                raise SimulationError(f"unknown op kind {kind}")
-            ip += 1
-        state.ip = ip
-        self.ops_executed += ip - start_ip
-        self.machine.core_clocks[core] = now
-        return now
+                    raise SimulationError(f"unknown op kind {kind}")
+                ip += 1
+            state.ip = ip
+            executor.ops_executed += ip - start_ip
+            machine_clocks[core] = now
+            return now
+
+        return execute_slice

@@ -52,7 +52,8 @@ class Cluster:
     __slots__ = ("id", "memsys", "counters", "l2", "l1d", "l1i", "port",
                  "bus_latency", "l2_latency", "port_occ", "swcc_all",
                  "uses_dir", "n_cores", "track_data", "_posted",
-                 "write_buffer_depth", "obs", "_l1_present", "__dict__")
+                 "write_buffer_depth", "obs", "_l1_present",
+                 "_l1_compact_at", "__dict__")
 
 
     def __init__(self, cluster_id: int, config: MachineConfig, policy: Policy,
@@ -87,10 +88,18 @@ class Cluster:
         self._posted: deque = deque()
         # Conservative superset of lines resident in *any* of this
         # cluster's L1s. Fills add; the full drop-scan removes. L1
-        # victims evict silently, so stale members linger until the
-        # next drop -- that only costs a redundant (no-op) scan, never
-        # a skipped one, so counters and timing are unaffected.
+        # victims evict silently, so stale members linger -- that only
+        # costs a redundant (no-op) scan, never a skipped one, so
+        # counters and timing are unaffected. Staleness is *bounded*:
+        # once the superset outgrows twice the clusters' total L1 line
+        # capacity, :meth:`_l1_compact` rebuilds it from the tag arrays
+        # (O(capacity), and at least ``capacity`` fills apart -- so
+        # amortized O(1) per fill and the set can never grow without
+        # bound on long-running full-machine cells).
         self._l1_present: set = set()
+        capacity = sum(c.n_sets * c.assoc for c in self.l1d)
+        capacity += sum(c.n_sets * c.assoc for c in self.l1i)
+        self._l1_compact_at = 2 * capacity
 
     # -- internal helpers ---------------------------------------------------
     def _l2_start(self, now: float) -> float:
@@ -120,6 +129,27 @@ class Cluster:
             cache.discard(line)
         present.discard(line)
 
+    def _l1_compact(self) -> None:
+        """Shrink ``_l1_present`` back to ground truth.
+
+        Rebuilds the superset from the L1 tag arrays, dropping every
+        member whose line silent L1 evictions have already displaced
+        from all of the cluster's L1s. Pure metadata: a dropped member
+        only suppresses sibling-invalidation scans that would have
+        no-opped anyway, so counters, timing and protocol state are
+        untouched.
+        """
+        present = self._l1_present
+        present.clear()
+        for cache in self.l1d:
+            sets = cache.sets
+            for index in cache._occupied:
+                present.update(sets[index])
+        for cache in self.l1i:
+            sets = cache.sets
+            for index in cache._occupied:
+                present.update(sets[index])
+
     def _fill_l1(self, l1: Cache, entry: CacheLine) -> None:
         """Install an L2 line's current contents into a core's L1.
 
@@ -128,8 +158,58 @@ class Cluster:
         produce L1 hits on words that were never fetched. L1 victims
         are silent, so the recycling :meth:`Cache.fill` is used.
         """
-        self._l1_present.add(entry.line)
+        present = self._l1_present
+        if len(present) >= self._l1_compact_at:
+            self._l1_compact()
+        present.add(entry.line)
         copy = l1.fill(entry.line, entry.valid_mask)
+        if copy.data is not None and entry.data is not None:
+            copy.data[:] = entry.data
+
+    def _fill_l1_at(self, l1: Cache, bucket: dict,
+                    existing: Optional[CacheLine],
+                    entry: CacheLine) -> None:
+        """:meth:`_fill_l1` with the L1 set and its probe in hand.
+
+        ``bucket``/``existing`` are the set dict and resident entry the
+        caller already probed for ``entry.line``; the body is
+        :meth:`Cache.fill` minus that probe, leaving identical counter,
+        LRU, recycling and ``_occupied`` state.
+        """
+        line = entry.line
+        present = self._l1_present
+        if len(present) >= self._l1_compact_at:
+            self._l1_compact()
+        present.add(line)
+        l1._tick += 1
+        if existing is not None:
+            existing.valid_mask |= entry.valid_mask
+            existing.incoherent = False
+            existing.lru = l1._tick
+            copy = existing
+        else:
+            if len(bucket) >= l1.assoc:
+                victim_line = -1
+                best = None
+                for ln, resident in bucket.items():
+                    lru = resident.lru
+                    if best is None or lru < best:
+                        best = lru
+                        victim_line = ln
+                copy = bucket.pop(victim_line)
+                l1.evictions += 1
+                copy.line = line
+                copy.valid_mask = entry.valid_mask
+                copy.dirty_mask = 0
+                copy.incoherent = False
+                if copy.data is not None:
+                    copy.data[:] = (0,) * WORDS_PER_LINE
+            else:
+                data = [0] * WORDS_PER_LINE if l1.track_data else None
+                copy = CacheLine(line, entry.valid_mask, 0, False, data)
+            copy.lru = l1._tick
+            bucket[line] = copy
+            l1._occupied[line % l1.n_sets] = None
         if copy.data is not None and entry.data is not None:
             copy.data[:] = entry.data
 
@@ -189,8 +269,10 @@ class Cluster:
         l1 = self.l1d[core]
         # L1-hit fast path: inlined Cache.lookup (same counters, same
         # LRU touch) so the per-op interpreter's dominant case pays one
-        # dict probe and no further calls.
-        e1 = l1.sets[line % l1.n_sets].get(line)
+        # dict probe and no further calls. The bucket reference is kept:
+        # the miss path's L1 fill below reuses it instead of re-probing.
+        l1bucket = l1.sets[line % l1.n_sets]
+        e1 = l1bucket.get(line)
         if e1 is not None:
             l1.touch(e1)
             if e1.valid_mask & bit:
@@ -213,16 +295,16 @@ class Cluster:
         used = port._used
         bucket = int(now * _INV_BUCKET)
         filled = used.get(bucket, 0.0)
-        while filled + occ > BUCKET_CYCLES:
-            bucket += 1
-            filled = used.get(bucket, 0.0)
+        if filled + occ > BUCKET_CYCLES:
+            bucket, filled = port._slot_after(bucket, occ)
         used[bucket] = filled + occ
         t = bucket * BUCKET_CYCLES
         if now > t:
             t = now
         t += self.bus_latency + self.l2_latency
         l2 = self.l2
-        entry = l2.sets[line % l2.n_sets].get(line)
+        l2bucket = l2.sets[line % l2.n_sets]
+        entry = l2bucket.get(line)
         if entry is not None:
             l2._tick += 1
             entry.lru = l2._tick
@@ -230,7 +312,7 @@ class Cluster:
         else:
             l2.misses += 1
         if entry is not None and entry.valid_mask & bit:
-            self._fill_l1(l1, entry)
+            self._fill_l1_at(l1, l1bucket, e1, entry)
             value = entry.data[word] if entry.data is not None else 0
             obs = self.obs
             if obs.active:
@@ -240,8 +322,35 @@ class Cluster:
         if entry is not None and not entry.incoherent:
             raise ProtocolError(f"partially valid coherent line {line:#x}")
         reply = self.memsys.read_line(self.id, line, t)
-        entry = self._install(line, reply, keep=entry)
-        self._fill_l1(l1, entry)
+        if entry is None:
+            # Inlined _install/Cache.allocate for the dominant
+            # nothing-resident case: the L2 bucket was already probed
+            # above, so allocation is the LRU scan and the insert alone.
+            victim = None
+            if len(l2bucket) >= l2.assoc:
+                victim_line = -1
+                best = None
+                for ln, resident in l2bucket.items():
+                    lru = resident.lru
+                    if best is None or lru < best:
+                        best = lru
+                        victim_line = ln
+                victim = l2bucket.pop(victim_line)
+                l2.evictions += 1
+            data = [0] * WORDS_PER_LINE if l2.track_data else None
+            entry = CacheLine(line, FULL_WORD_MASK, 0, reply.incoherent,
+                              data)
+            l2._tick += 1
+            entry.lru = l2._tick
+            l2bucket[line] = entry
+            l2._occupied[line % l2.n_sets] = None
+            if victim is not None:
+                self._handle_victim(victim, reply.time)
+            if data is not None and reply.data is not None:
+                data[:] = reply.data
+        else:
+            entry = self._install(line, reply, keep=entry)
+        self._fill_l1_at(l1, l1bucket, e1, entry)
         value = entry.data[word] if entry.data is not None else 0
         obs = self.obs
         if obs.active:
@@ -287,16 +396,16 @@ class Cluster:
         used = port._used
         bucket = int(now * _INV_BUCKET)
         filled = used.get(bucket, 0.0)
-        while filled + occ > BUCKET_CYCLES:
-            bucket += 1
-            filled = used.get(bucket, 0.0)
+        if filled + occ > BUCKET_CYCLES:
+            bucket, filled = port._slot_after(bucket, occ)
         used[bucket] = filled + occ
         t = bucket * BUCKET_CYCLES
         if now > t:
             t = now
         t += self.bus_latency + self.l2_latency
         l2 = self.l2
-        entry = l2.sets[line % l2.n_sets].get(line)
+        l2bucket = l2.sets[line % l2.n_sets]
+        entry = l2bucket.get(line)
         if entry is not None:
             l2._tick += 1
             entry.lru = l2._tick
@@ -331,7 +440,29 @@ class Cluster:
         t = self._posted_slot(t)
         reply = self.memsys.write_line_request(self.id, line, t)
         self._posted_done(reply.time)
-        entry = self._install(line, reply)
+        # Inlined _install/Cache.allocate (nothing resident: the L2
+        # bucket was probed above), as in the load miss path.
+        victim = None
+        if len(l2bucket) >= l2.assoc:
+            victim_line = -1
+            best = None
+            for ln, resident in l2bucket.items():
+                lru = resident.lru
+                if best is None or lru < best:
+                    best = lru
+                    victim_line = ln
+            victim = l2bucket.pop(victim_line)
+            l2.evictions += 1
+        data = [0] * WORDS_PER_LINE if l2.track_data else None
+        entry = CacheLine(line, FULL_WORD_MASK, 0, reply.incoherent, data)
+        l2._tick += 1
+        entry.lru = l2._tick
+        l2bucket[line] = entry
+        l2._occupied[line % l2.n_sets] = None
+        if victim is not None:
+            self._handle_victim(victim, reply.time)
+        if data is not None and reply.data is not None:
+            data[:] = reply.data
         entry.write_word(word, value)
         return t
 
@@ -356,7 +487,10 @@ class Cluster:
             reply = self.memsys.read_line(self.id, line, t, instruction=True)
             entry = self._install(line, reply)
             t = reply.time
-        self._l1_present.add(line)
+        present = self._l1_present
+        if len(present) >= self._l1_compact_at:
+            self._l1_compact()
+        present.add(line)
         l1.fill(line, FULL_WORD_MASK)
         obs = self.obs
         if obs.active:

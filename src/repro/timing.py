@@ -37,14 +37,71 @@ class Resource:
     service starts (>= now). A saturated resource pushes requests into
     later buckets, producing queueing delay proportional to the backlog
     near the requested time.
+
+    Saturated scans are amortised O(1): buckets proven full are linked
+    into path-compressed skip runs (``_full_next``), so a backlogged
+    resource never re-walks its full region request after request -- the
+    behaviour that made heavily contended phases quadratic. Fill values
+    in ``_used`` are untouched by the skip structure, so reservations
+    and start times are bit-identical to the plain linear scan (proven
+    exhaustively by ``tests/test_timing.py``).
     """
 
-    __slots__ = ("_used", "total_busy", "acquisitions")
+    __slots__ = ("_used", "total_busy", "acquisitions", "_full_next",
+                 "_min_occ")
 
     def __init__(self) -> None:
         self._used: Dict[int, float] = {}
         self.total_busy = 0.0
         self.acquisitions = 0
+        # bucket -> next candidate bucket, recorded only for buckets
+        # full even for the smallest occupancy this resource has seen
+        # (``_min_occ``); a new, smaller occupancy class invalidates the
+        # table wholesale. Buckets only ever fill (reset() clears), so
+        # a recorded skip can never go stale.
+        self._full_next: Dict[int, int] = {}
+        self._min_occ = float("inf")
+
+    def _slot_after(self, bucket: int, occupancy: float) -> "tuple[int, float]":
+        """First bucket >= ``bucket`` with room for ``occupancy`` whole.
+
+        Returns ``(bucket, filled)`` exactly as the reference linear
+        scan would: the first bucket whose fill plus ``occupancy`` does
+        not exceed the bucket capacity. Buckets full for every
+        occupancy class in use are skipped through ``_full_next`` with
+        path compression; buckets full only for this (larger) request
+        are stepped over without being recorded, so a later scan with a
+        smaller occupancy still inspects them.
+        """
+        used = self._used
+        if occupancy < self._min_occ:
+            self._min_occ = occupancy
+            self._full_next.clear()
+        min_occ = self._min_occ
+        full_next = self._full_next
+        run: list = []
+        while True:
+            skip = full_next.get(bucket)
+            if skip is not None:
+                run.append(bucket)
+                bucket = skip
+                continue
+            filled = used.get(bucket, 0.0)
+            if filled + occupancy <= BUCKET_CYCLES:
+                break
+            if filled + min_occ > BUCKET_CYCLES:
+                run.append(bucket)
+            elif run:
+                # Full for this request only: a smaller class could
+                # still land here, so the compressed run must end at
+                # this bucket rather than jump across it.
+                for member in run:
+                    full_next[member] = bucket
+                run.clear()
+            bucket += 1
+        for member in run:
+            full_next[member] = bucket
+        return bucket, filled
 
     def acquire(self, now: float, occupancy: float) -> float:
         self.acquisitions += 1
@@ -59,9 +116,8 @@ class Resource:
         # into the following buckets.
         if occupancy <= BUCKET_CYCLES:
             filled = used.get(bucket, 0.0)
-            while filled + occupancy > BUCKET_CYCLES:
-                bucket += 1
-                filled = used.get(bucket, 0.0)
+            if filled + occupancy > BUCKET_CYCLES:
+                bucket, filled = self._slot_after(bucket, occupancy)
             used[bucket] = filled + occupancy
         else:
             while used.get(bucket, 0.0) >= BUCKET_CYCLES:
@@ -100,6 +156,8 @@ class Resource:
         access would queue behind reservations from abandoned branches.
         """
         self._used.clear()
+        self._full_next.clear()
+        self._min_occ = float("inf")
 
 
 class ResourceGroup:

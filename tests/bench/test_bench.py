@@ -149,3 +149,42 @@ class TestCommittedBaseline:
         flagship = {(s.workload, s.policy, s.n_clusters, s.scale)
                     for s in PINNED_MATRIX}
         assert ("kmeans", "cohesion", 16, 1.0) in flagship
+
+
+class TestProfile:
+    """``repro bench --profile``: a committed answer to "what dominates
+    now?", produced outside any timed region."""
+
+    @pytest.fixture(scope="class")
+    def profile_doc(self):
+        from repro.bench import profile_cells
+        return profile_cells([TINY_SPEC], top=10)
+
+    def test_document_shape(self, profile_doc):
+        from repro.bench import PROFILE_SCHEMA
+        assert profile_doc["schema"] == PROFILE_SCHEMA
+        assert profile_doc["top"] == 10
+        cell = profile_doc["cells"][TINY_SPEC.key]
+        assert cell["total_s"] > 0
+        assert 1 <= len(cell["functions"]) <= 10
+        for row in cell["functions"]:
+            assert row["ncalls"] >= 1
+            assert row["cumtime_s"] >= row["tottime_s"] >= 0
+            assert ":" in row["func"]
+
+    def test_rows_sorted_by_exclusive_time(self, profile_doc):
+        rows = profile_doc["cells"][TINY_SPEC.key]["functions"]
+        tots = [row["tottime_s"] for row in rows]
+        assert tots == sorted(tots, reverse=True)
+
+    def test_document_is_json_round_trippable(self, profile_doc):
+        assert json.loads(json.dumps(profile_doc)) == profile_doc
+
+    def test_rejects_bad_top(self):
+        from repro.bench import profile_cells
+        with pytest.raises(SimulationError):
+            profile_cells([TINY_SPEC], top=0)
+
+    def test_table_names_the_cell(self, profile_doc):
+        from repro.bench import format_profile_table
+        assert TINY_SPEC.key in format_profile_table(profile_doc)

@@ -306,3 +306,46 @@ class TestProbes:
         cluster.probe_invalidate(line, 20.0)
         assert cluster.l1d[0].peek(line) is None
         assert cluster.l1d[5].peek(line) is None
+
+
+class TestL1PresentCompaction:
+    """``_l1_present`` staleness is bounded: silent L1 evictions leave
+    stale members behind, and the threshold compaction sweeps them out
+    before the superset can outgrow twice the L1 line capacity."""
+
+    def test_superset_stays_bounded_and_sound(self, hwcc_machine):
+        cluster = hwcc_machine.clusters[0]
+        bound = cluster._l1_compact_at
+        n = bound + 64
+        t = 0.0
+        for i in range(n):
+            t, _ = cluster.load(0, COHERENT_HEAP + 32 * i, t)
+        present = cluster._l1_present
+        assert len(present) <= bound
+        assert len(present) < n
+        # Soundness: every line actually resident in an L1 is a member.
+        resident = set()
+        for cache in list(cluster.l1d) + list(cluster.l1i):
+            for bucket in cache.sets:
+                resident.update(bucket)
+        assert resident <= present
+
+    def test_compaction_shrinks_the_set_after_evictions(self, hwcc_machine):
+        cluster = hwcc_machine.clusters[0]
+        bound = cluster._l1_compact_at
+        # Stream far past core 0's L1D capacity: every fill silently
+        # evicts a victim, stranding a stale member per load.
+        t = 0.0
+        i = 0
+        while len(cluster._l1_present) < bound:
+            t, _ = cluster.load(0, COHERENT_HEAP + 32 * i, t)
+            i += 1
+            assert i <= bound + 8, "superset never reached the bound"
+        before = len(cluster._l1_present)
+        t, _ = cluster.load(0, COHERENT_HEAP + 32 * i, t)
+        after = len(cluster._l1_present)
+        assert after < before
+        # The rebuilt set reflects roughly the true resident lines, not
+        # the streamed history.
+        capacity = bound // 2
+        assert after <= capacity

@@ -375,6 +375,29 @@ class TestFriendlyErrors:
         assert "REPRO_SCALE must be a positive number" in err
         assert "Traceback" not in err
 
+    def test_unknown_backend_error_lists_registered_names(self):
+        from repro.errors import SimulationError
+        from repro.runtime.backends import BACKENDS, resolve_backend
+
+        with pytest.raises(SimulationError) as exc:
+            resolve_backend("turbo")
+        msg = str(exc.value)
+        assert "'turbo'" in msg
+        assert "REPRO_BACKEND" in msg
+        for name in BACKENDS:
+            assert name in msg
+
+    def test_unknown_env_backend_is_one_line_usage_error(
+            self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "turbo")
+        code = main(["run", "--workload", "gjk", "--clusters", "1",
+                     "--scale", "0.1"])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "'turbo'" in err
+        assert "interp" in err and "vec" in err
+        assert "Traceback" not in err
+
 
 class TestCacheCommand:
     @pytest.fixture(autouse=True)

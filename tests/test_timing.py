@@ -76,6 +76,129 @@ class TestResource:
         assert last - now <= n + BUCKET_CYCLES
 
 
+class _ReferenceResource:
+    """The original linear-scan ``Resource``, kept verbatim as the oracle.
+
+    ``Resource.acquire`` now consults a path-compressed skip structure
+    when the first bucket probe fails; this class preserves the plain
+    scan so the sweep below can prove the two return bit-identical
+    start times and leave bit-identical ``_used`` ledgers.
+    """
+
+    def __init__(self):
+        self._used = {}
+        self.total_busy = 0.0
+        self.acquisitions = 0
+
+    def acquire(self, now, occupancy):
+        self.acquisitions += 1
+        if occupancy <= 0.0:
+            return now
+        self.total_busy += occupancy
+        used = self._used
+        bucket = int(now / BUCKET_CYCLES)
+        if occupancy <= BUCKET_CYCLES:
+            filled = used.get(bucket, 0.0)
+            while filled + occupancy > BUCKET_CYCLES:
+                bucket += 1
+                filled = used.get(bucket, 0.0)
+            used[bucket] = filled + occupancy
+        else:
+            while used.get(bucket, 0.0) >= BUCKET_CYCLES:
+                bucket += 1
+            remaining = occupancy
+            spill = bucket
+            while remaining > 0.0:
+                filled = used.get(spill, 0.0)
+                take = BUCKET_CYCLES - filled
+                if take > remaining:
+                    take = remaining
+                if take > 0.0:
+                    used[spill] = filled + take
+                    remaining -= take
+                spill += 1
+        start = bucket * BUCKET_CYCLES
+        if now > start:
+            start = now
+        return start
+
+
+#: Every occupancy class the simulator issues: crossbar slots, tree
+#: links, half-cost release ports, unit bank ports, multi-cycle DRAM
+#: line transfers, and a wider-than-bucket spill case.
+_OCC_CLASSES = [1.0 / 16.0, 0.125, 0.5, 1.0, 4.0, 8.0, 40.0]
+
+
+class TestSlotSearchEquality:
+    """The skip-accelerated search must equal the linear scan exactly."""
+
+    @staticmethod
+    def _check(requests):
+        fast, ref = Resource(), _ReferenceResource()
+        for now, occ in requests:
+            assert fast.acquire(now, occ) == ref.acquire(now, occ)
+        assert fast._used == ref._used
+        assert fast.total_busy == ref.total_busy
+
+    def test_exhaustive_single_class_saturation(self):
+        """Each occupancy class alone, driven to deep saturation."""
+        for occ in _OCC_CLASSES:
+            n = int(6 * BUCKET_CYCLES / min(occ, BUCKET_CYCLES)) + 8
+            self._check([(3.0, occ)] * n)
+
+    def test_exhaustive_class_pairs_interleaved(self):
+        """Every ordered pair of occupancy classes, interleaved.
+
+        This is the hazard the skip table must survive: buckets full
+        for a large class may still take a smaller one, and a smaller
+        class arriving later invalidates recorded skips.
+        """
+        for a in _OCC_CLASSES:
+            for b in _OCC_CLASSES:
+                reqs = []
+                for i in range(160):
+                    occ = a if i % 3 else b
+                    reqs.append((float((i * 7) % 96), occ))
+                self._check(reqs)
+
+    def test_out_of_order_times_across_window(self):
+        """Requests hopping across a multi-bucket window, all classes."""
+        times = [0.0, 95.0, 33.0, 64.0, 1.0, 500.0, 31.9, 32.0, 96.1]
+        reqs = [(t, _OCC_CLASSES[i % len(_OCC_CLASSES)])
+                for i, t in enumerate(times * 20)]
+        self._check(reqs)
+
+    def test_wide_request_lands_amid_backlog(self):
+        """Spill-path requests interleaved with saturating narrow ones."""
+        reqs = [(0.0, 8.0)] * 10 + [(0.0, 40.0)] + [(0.0, 0.5)] * 80 \
+            + [(0.0, 40.0)] + [(10.0, 1.0)] * 40
+        self._check(reqs)
+
+    def test_reset_clears_skip_state(self):
+        fast, ref = Resource(), _ReferenceResource()
+        for _ in range(200):
+            fast.acquire(0.0, 1.0)
+        fast.reset()
+        assert fast._full_next == {} and fast._used == {}
+        for _ in range(40):
+            assert fast.acquire(0.0, 1.0) == ref.acquire(0.0, 1.0)
+        assert fast._used == ref._used
+
+    @settings(max_examples=200, deadline=None)
+    @given(st.lists(st.tuples(st.floats(0, 2000),
+                              st.sampled_from(_OCC_CLASSES)),
+                    min_size=1, max_size=300))
+    def test_generative_equality(self, reqs):
+        self._check(reqs)
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.lists(st.tuples(st.floats(0, 500),
+                              st.floats(0.01, 48.0)),
+                    min_size=1, max_size=200))
+    def test_generative_equality_arbitrary_occupancies(self, reqs):
+        self._check(reqs)
+
+
 class TestResourceGroup:
     def test_independent_members(self):
         g = ResourceGroup(3)
